@@ -1,0 +1,125 @@
+// Ablation (DESIGN.md): threaded-code JIT vs reference interpreter —
+// real wall-clock dispatch cost, measured with google-benchmark. Also
+// covers the image wire codec, whose cost sits on the control-plane path.
+#include <benchmark/benchmark.h>
+
+#include "bpf/exec.h"
+#include "bpf/interpreter.h"
+#include "bpf/jit.h"
+#include "bpf/proggen.h"
+#include "bpf/verifier.h"
+
+namespace rdx::bpf {
+namespace {
+
+struct Env {
+  VectorMemory mem{1 << 20};
+  Rng rng{7};
+  RuntimeContext rt;
+  ExecOptions opts;
+  std::vector<Insn> resolved;
+  JitImage image;
+
+  explicit Env(std::size_t insns) {
+    rt.mem = &mem;
+    rt.rng = &rng;
+    opts.ctx_addr = mem.Allocate(256).value();
+    opts.ctx_len = 256;
+    opts.stack_addr = mem.Allocate(kStackSize).value();
+
+    Program prog = GenerateProgram({.target_insns = insns, .seed = 3});
+    const MapSpec& spec = prog.maps[0];
+    const std::uint64_t map_addr =
+        mem.Allocate(MapRequiredBytes(spec), 8).value();
+    MapView view(mem.SpanAt(map_addr, MapRequiredBytes(spec)).value());
+    if (!view.Init(spec).ok()) std::abort();
+    rt.maps.emplace(map_addr, spec);
+
+    resolved = prog.insns;
+    for (std::size_t i = 0; i < resolved.size(); ++i) {
+      if (resolved[i].IsLdImm64() && resolved[i].src_reg == kPseudoMapFd) {
+        resolved[i].src_reg = 0;
+        resolved[i].imm = static_cast<std::int32_t>(map_addr & 0xffffffff);
+        resolved[i + 1].imm = static_cast<std::int32_t>(map_addr >> 32);
+      }
+    }
+    auto compiled = JitCompiler().Compile(prog);
+    if (!compiled.ok()) std::abort();
+    image = std::move(compiled).value();
+    for (const Relocation& reloc : image.relocs) {
+      if (reloc.kind == RelocKind::kMapAddress) {
+        image.code[reloc.index].imm64 = map_addr;
+      }
+    }
+  }
+};
+
+void BM_Interpreter(benchmark::State& state) {
+  Env env(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t insns = 0;
+  for (auto _ : state) {
+    auto result = Interpret(env.resolved, env.rt, env.opts);
+    if (!result.ok()) state.SkipWithError("interpreter failed");
+    insns += result->insns_executed;
+    benchmark::DoNotOptimize(result->r0);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(insns));
+}
+BENCHMARK(BM_Interpreter)->Arg(1000)->Arg(10000);
+
+void BM_JitThreadedCode(benchmark::State& state) {
+  Env env(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t insns = 0;
+  for (auto _ : state) {
+    auto result = RunJit(env.image, env.rt, env.opts);
+    if (!result.ok()) state.SkipWithError("jit failed");
+    insns += result->insns_executed;
+    benchmark::DoNotOptimize(result->r0);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(insns));
+}
+BENCHMARK(BM_JitThreadedCode)->Arg(1000)->Arg(10000);
+
+void BM_ImageSerialize(benchmark::State& state) {
+  Env env(static_cast<std::size_t>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    Bytes wire = env.image.Serialize();
+    bytes += wire.size();
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ImageSerialize)->Arg(1300)->Arg(95000);
+
+void BM_ImageDeserialize(benchmark::State& state) {
+  Env env(static_cast<std::size_t>(state.range(0)));
+  const Bytes wire = env.image.Serialize();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto image = JitImage::Deserialize(wire);
+    if (!image.ok()) state.SkipWithError("deserialize failed");
+    bytes += wire.size();
+    benchmark::DoNotOptimize(image->code.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ImageDeserialize)->Arg(1300)->Arg(95000);
+
+void BM_Verifier(benchmark::State& state) {
+  Program prog = GenerateProgram(
+      {.target_insns = static_cast<std::size_t>(state.range(0)), .seed = 3});
+  Verifier verifier;
+  for (auto _ : state) {
+    Status s = verifier.Verify(prog);
+    if (!s.ok()) state.SkipWithError("verification failed");
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Verifier)->Arg(1300)->Arg(11000)->Arg(95000);
+
+}  // namespace
+}  // namespace rdx::bpf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Shared harness for the figure-reproduction benches: cluster assembly
+// (fabric + control plane + sandboxes + agents), run-to-completion
+// helpers, and paper-style table printing. Each bench binary regenerates
+// one table/figure of the paper (see DESIGN.md's experiment index).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agent/agent.h"
+#include "common/stats.h"
+#include "core/broadcast.h"
+#include "core/codeflow.h"
+
+namespace rdx::bench {
+
+// A control-plane node plus N sandbox nodes, with both management paths
+// wired: an RDX CodeFlow per node and an agent per node.
+struct Cluster {
+  sim::EventQueue events;
+  std::unique_ptr<rdma::Fabric> fabric;
+  rdma::NodeId cp_node = 0;
+  std::unique_ptr<core::ControlPlane> cp;
+  std::unique_ptr<agent::AgentController> controller;
+
+  struct NodeBundle {
+    rdma::Node* node;
+    std::unique_ptr<sim::CpuScheduler> cpu;
+    std::unique_ptr<core::Sandbox> sandbox;
+    std::unique_ptr<agent::NodeAgent> agent;
+    core::CodeFlow* flow = nullptr;
+  };
+  std::vector<NodeBundle> nodes;
+
+  explicit Cluster(int node_count = 1,
+                   core::ControlPlaneConfig cp_config = {},
+                   agent::AgentConfig agent_config = {},
+                   int cores_per_node = 24) {
+    fabric = std::make_unique<rdma::Fabric>(events);
+    cp_node = fabric->AddNode("control-plane", 128u << 20).id();
+    cp = std::make_unique<core::ControlPlane>(events, *fabric, cp_node,
+                                              cp_config);
+    controller = std::make_unique<agent::AgentController>(events);
+    for (int i = 0; i < node_count; ++i) {
+      NodeBundle bundle;
+      bundle.node = &fabric->AddNode("node" + std::to_string(i), 64u << 20);
+      bundle.cpu = std::make_unique<sim::CpuScheduler>(
+          events, cores_per_node, agent_config.cost.cpu_hz);
+      core::SandboxConfig sandbox_config;
+      sandbox_config.seed = 1000 + i;
+      // Benches deploy hundreds of MB-scale images per node; keep the
+      // scratchpad far from exhaustion so allocation never perturbs the
+      // measurement.
+      sandbox_config.scratch_bytes = 48u << 20;
+      bundle.sandbox = std::make_unique<core::Sandbox>(events, *bundle.node,
+                                                       sandbox_config);
+      if (!bundle.sandbox->CtxInit().ok()) std::abort();
+      auto reg = bundle.sandbox->CtxRegister();
+      if (!reg.ok()) std::abort();
+      cp->CreateCodeFlow(*bundle.sandbox, reg.value(),
+                         [&bundle](StatusOr<core::CodeFlow*> flow) {
+                           if (flow.ok()) bundle.flow = flow.value();
+                         });
+      events.Run();
+      if (bundle.flow == nullptr) std::abort();
+      bundle.agent = std::make_unique<agent::NodeAgent>(
+          events, *bundle.sandbox, *bundle.cpu, agent_config);
+      controller->RegisterAgent(bundle.agent.get());
+      nodes.push_back(std::move(bundle));
+    }
+  }
+
+  // Runs the event loop until `flag` is set (or the queue drains).
+  void RunUntilFlag(const bool& flag) {
+    while (!flag && !events.Empty()) events.Step();
+  }
+};
+
+// ---- table printing ----
+
+inline void PrintHeader(const std::string& title,
+                        const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("    reproduces: %s\n", paper_ref.c_str());
+}
+
+inline void PrintRow(const std::vector<std::string>& cells) {
+  for (const std::string& cell : cells) std::printf("%16s", cell.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int decimals = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string FmtInt(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace rdx::bench

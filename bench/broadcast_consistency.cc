@@ -1,0 +1,146 @@
+// §4 "fast and consistent extension updates": Collective CodeFlow
+// (rdx_broadcast) vs agent rollout on a live mesh. Measures (1) the
+// update window, (2) how many in-flight requests observed mixed filter
+// versions, and (3) with BBU enabled, how many requests were buffered to
+// guarantee zero mixed observations — feasible precisely because the RDX
+// window is microseconds, not hundreds of milliseconds.
+#include "bench/bench_util.h"
+#include "mesh/mesh.h"
+
+using namespace rdx;
+
+namespace {
+
+struct Outcome {
+  double window_ms;
+  std::uint64_t mixed;
+  std::uint64_t buffered;
+  std::uint64_t completed;
+};
+
+enum class Mode { kAgent, kRdx, kRdxBbu };
+
+Outcome RunUpdate(Mode mode, const mesh::AppSpec& app, std::uint64_t seed) {
+  sim::EventQueue events;
+  rdma::Fabric fabric(events);
+  const rdma::NodeId cp_id = fabric.AddNode("cp", 256u << 20).id();
+  core::ControlPlane cp(events, fabric, cp_id);
+  agent::AgentController controller(events);
+
+  mesh::MeshConfig config;
+  config.app = app;
+  config.request_rate_per_s = 5000;
+  config.seed = seed;
+  mesh::MeshSim sim(events, fabric, config);
+
+  std::vector<std::unique_ptr<agent::NodeAgent>> agents;
+  std::vector<core::CodeFlow*> flows;
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    agents.push_back(std::make_unique<agent::NodeAgent>(
+        events, sim.sandbox(i), sim.cpu(i), agent::AgentConfig{}));
+    controller.RegisterAgent(agents.back().get());
+    auto reg = sim.sandbox(i).CtxRegister();
+    core::CodeFlow* flow = nullptr;
+    cp.CreateCodeFlow(sim.sandbox(i), reg.value(),
+                      [&flow](StatusOr<core::CodeFlow*> f) {
+                        flow = f.value();
+                      });
+    events.Run();
+    flows.push_back(flow);
+  }
+
+  // Initial version everywhere (v1), via RDX broadcast for speed.
+  wasm::FilterModule v1 = wasm::GenerateFilter(400, 11);
+  {
+    core::CollectiveCodeFlow group(cp, flows);
+    std::vector<const wasm::FilterModule*> filters(sim.size(), &v1);
+    bool done = false;
+    group.BroadcastWasm(filters, 0, nullptr,
+                        [&](StatusOr<core::BroadcastResult> r) {
+                          if (!r.ok()) std::abort();
+                          done = true;
+                        });
+    while (!done && !events.Empty()) events.Step();
+  }
+
+  sim.StartWorkload();
+  events.RunUntil(events.Now() + sim::Millis(200));
+  (void)sim.TakeMetrics();
+
+  // The v1 -> v2 update, through the mode under test.
+  wasm::FilterModule v2 = wasm::GenerateFilter(400, 22);
+  Outcome outcome{};
+  bool done = false;
+  const sim::SimTime t0 = events.Now();
+  // Must outlive the asynchronous broadcast below.
+  core::CollectiveCodeFlow group(cp, flows);
+  switch (mode) {
+    case Mode::kAgent: {
+      controller.RolloutWasm(v2, 0, app.DependencyWaves(),
+                             [&](StatusOr<agent::RolloutResult> r) {
+                               if (!r.ok()) std::abort();
+                               outcome.window_ms =
+                                   sim::ToMillis(r->inconsistency_window);
+                               done = true;
+                             });
+      break;
+    }
+    case Mode::kRdx:
+    case Mode::kRdxBbu: {
+      std::vector<const wasm::FilterModule*> filters(sim.size(), &v2);
+      group.BroadcastWasm(filters, 0,
+                          mode == Mode::kRdxBbu ? &sim : nullptr,
+                          [&](StatusOr<core::BroadcastResult> r) {
+                            if (!r.ok()) std::abort();
+                            // The consistency-relevant window: first
+                            // commit -> cluster-wide visibility. Prepares
+                            // are invisible to the data path.
+                            outcome.window_ms =
+                                sim::ToMillis(r->commit_window);
+                            outcome.buffered = r->buffered_requests;
+                            done = true;
+                          });
+      break;
+    }
+  }
+  while (!done && !events.Empty()) events.Step();
+  (void)t0;
+  // Drain another 200 ms so late requests finish.
+  events.RunUntil(events.Now() + sim::Millis(200));
+  mesh::MeshMetrics metrics = sim.TakeMetrics();
+  sim.StopWorkload();
+  outcome.mixed = metrics.mixed_version;
+  outcome.completed = metrics.completed;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "rdx_broadcast: consistent cluster-wide updates vs agent rollout",
+      "Section 4 / Fig 2b remedy (microsecond atomic group updates; BBU "
+      "buffers a bounded handful of requests instead of an impractical "
+      "backlog)");
+  bench::PrintRow({"app", "mode", "window", "mixed_reqs", "buffered"});
+
+  for (const mesh::AppSpec& app : mesh::AppSpec::PaperApps()) {
+    const Outcome agent = RunUpdate(Mode::kAgent, app, 1);
+    const Outcome rdx = RunUpdate(Mode::kRdx, app, 1);
+    const Outcome bbu = RunUpdate(Mode::kRdxBbu, app, 1);
+    bench::PrintRow({app.name, "agent",
+                     bench::Fmt(agent.window_ms, 1) + "ms",
+                     bench::FmtInt(agent.mixed), "-"});
+    bench::PrintRow({app.name, "rdx",
+                     bench::Fmt(rdx.window_ms * 1000, 0) + "us",
+                     bench::FmtInt(rdx.mixed), "-"});
+    bench::PrintRow({app.name, "rdx+bbu",
+                     bench::Fmt(bbu.window_ms * 1000, 0) + "us",
+                     bench::FmtInt(bbu.mixed), bench::FmtInt(bbu.buffered)});
+  }
+  std::printf(
+      "\nshape check: agent windows are 100s of ms with many mixed-version "
+      "requests; rdx windows are us-scale; rdx+bbu has ZERO mixed requests "
+      "while buffering only a handful.\n");
+  return 0;
+}

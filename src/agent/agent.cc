@@ -1,0 +1,361 @@
+#include "agent/agent.h"
+
+#include "bpf/jit.h"
+#include "core/layout.h"
+
+namespace rdx::agent {
+
+NodeAgent::NodeAgent(sim::EventQueue& events, core::Sandbox& sandbox,
+                     sim::CpuScheduler& cpu, AgentConfig config)
+    : events_(events), sandbox_(sandbox), cpu_(cpu), config_(config) {}
+
+Status NodeAgent::AttachImage(Bytes image_bytes, int hook) {
+  // Local (CPU-side) attach: allocate from this node's scratchpad brk,
+  // write image + desc, swing the hook slot. The local CPU is coherent,
+  // so the new version is visible immediately.
+  auto& mem = sandbox_.node().memory();
+  const core::ControlBlockView& view = sandbox_.view();
+  RDX_ASSIGN_OR_RETURN(std::uint64_t brk,
+                       mem.ReadU64(view.cb_addr + core::kCbScratchBrk));
+  const std::uint64_t image_len = image_bytes.size();
+  const std::uint64_t aligned = (image_len + 63) & ~63ull;
+  const std::uint64_t region = aligned + core::kImageDescBytes;
+  if (brk + region > view.scratch_addr + view.scratch_size) {
+    return ResourceExhausted("sandbox scratchpad exhausted");
+  }
+  RDX_RETURN_IF_ERROR(
+      mem.WriteU64(view.cb_addr + core::kCbScratchBrk, brk + region));
+
+  const std::uint64_t image_addr = brk;
+  const std::uint64_t desc_addr = brk + aligned;
+  RDX_RETURN_IF_ERROR(mem.Write(image_addr, image_bytes));
+  RDX_RETURN_IF_ERROR(
+      mem.WriteU64(desc_addr + core::kDescImageAddr, image_addr));
+  RDX_RETURN_IF_ERROR(mem.WriteU64(desc_addr + core::kDescImageLen,
+                                   image_len));
+  // Versions count update *generations* of a hook, so they stay
+  // comparable across nodes (needed for mixed-version detection).
+  RDX_RETURN_IF_ERROR(mem.WriteU64(desc_addr + core::kDescVersion,
+                                   sandbox_.CommittedVersion(hook) + 1));
+  RDX_RETURN_IF_ERROR(mem.WriteU64(desc_addr + core::kDescRefcount, 1));
+  RDX_RETURN_IF_ERROR(mem.WriteU64(
+      view.hook_table_addr + static_cast<std::uint64_t>(hook) * 8,
+      desc_addr));
+  // The local CPU is coherent with its own stores: immediate visibility.
+  sandbox_.RefreshHookNow(hook);
+  return OkStatus();
+}
+
+void NodeAgent::LoadExtension(
+    const bpf::Program& prog, int hook,
+    std::function<void(StatusOr<AgentTrace>)> done) {
+  auto trace = std::make_shared<AgentTrace>();
+  const sim::SimTime t0 = events_.Now();
+
+  // Daemon wakeup + config parse.
+  cpu_.Submit(config_.cost.agent_dispatch_cycles, [this, prog, hook, trace,
+                                                   t0,
+                                                   done = std::move(done)]() mutable {
+    trace->queue = events_.Now() - t0;
+    const sim::SimTime t1 = events_.Now();
+    // Verification: real work, charged to this node's CPU.
+    const Status verdict = bpf::Verifier().Verify(prog);
+    cpu_.Submit(config_.cost.VerifyCycles(prog.size()), [this, prog, hook,
+                                                         trace, t0, t1,
+                                                         verdict,
+                                                         done = std::move(
+                                                             done)]() mutable {
+      trace->verify = events_.Now() - t1;
+      if (!verdict.ok()) {
+        done(verdict);
+        return;
+      }
+      const sim::SimTime t2 = events_.Now();
+      auto image = bpf::JitCompiler().Compile(prog);
+      cpu_.Submit(config_.cost.JitCycles(prog.size()), [this, prog, hook,
+                                                        trace, t0, t2,
+                                                        image = std::move(
+                                                            image),
+                                                        done = std::move(
+                                                            done)]() mutable {
+        trace->jit = events_.Now() - t2;
+        if (!image.ok()) {
+          done(image.status());
+          return;
+        }
+        const sim::SimTime t3 = events_.Now();
+        cpu_.Submit(config_.cost.attach_fixed_cycles, [this, prog, hook,
+                                                       trace, t0, t3,
+                                                       image = std::move(
+                                                           image),
+                                                       done = std::move(
+                                                           done)]() mutable {
+          // Link locally: the agent has full local context, so it deploys
+          // each map in its own sandbox and patches addresses directly.
+          bpf::JitImage linked = std::move(image).value();
+          auto& mem = sandbox_.node().memory();
+          for (const bpf::Relocation& reloc : linked.relocs) {
+            if (reloc.kind != bpf::RelocKind::kMapAddress) continue;
+            const bpf::MapSpec& spec = linked.maps[reloc.symbol];
+            // Reuse an already-deployed XState of the same name if the
+            // sandbox has one registered.
+            std::uint64_t addr = 0;
+            for (const auto& [a, s] : sandbox_.runtime().maps) {
+              if (s.name == spec.name) {
+                addr = a;
+                break;
+              }
+            }
+            if (addr == 0) {
+              const std::uint64_t bytes = bpf::MapRequiredBytes(spec);
+              auto alloc = mem.Allocate(bytes, 64);
+              if (!alloc.ok()) {
+                done(alloc.status());
+                return;
+              }
+              addr = alloc.value();
+              bpf::MapView map_view(mem.SpanForCpu(addr, bytes));
+              Status init = map_view.Init(spec);
+              if (!init.ok()) {
+                done(init);
+                return;
+              }
+              bpf::MapSpec registered = spec;
+              sandbox_.runtime().maps.emplace(addr, registered);
+            }
+            linked.code[reloc.index].imm64 = addr;
+          }
+          Status attached = AttachImage(linked.Serialize(), hook);
+          if (!attached.ok()) {
+            done(attached);
+            return;
+          }
+          trace->attach = events_.Now() - t3;
+          trace->total = events_.Now() - t0;
+          ++loads_completed_;
+          done(*trace);
+        });
+      });
+    });
+  });
+}
+
+void NodeAgent::LoadWasmFilter(
+    const wasm::FilterModule& module, int hook,
+    std::function<void(StatusOr<AgentTrace>)> done) {
+  auto trace = std::make_shared<AgentTrace>();
+  const sim::SimTime t0 = events_.Now();
+  cpu_.Submit(config_.cost.agent_dispatch_cycles, [this, module, hook, trace,
+                                                   t0,
+                                                   done = std::move(done)]() mutable {
+    trace->queue = events_.Now() - t0;
+    const sim::SimTime t1 = events_.Now();
+    const Status verdict = wasm::ValidateFilter(module);
+    cpu_.Submit(config_.cost.WasmValidateCycles(module.size()), [this,
+                                                                 module, hook,
+                                                                 trace, t0,
+                                                                 t1, verdict,
+                                                                 done = std::move(
+                                                                     done)]() mutable {
+      trace->verify = events_.Now() - t1;
+      if (!verdict.ok()) {
+        done(verdict);
+        return;
+      }
+      const sim::SimTime t2 = events_.Now();
+      auto image = wasm::CompileFilter(module);
+      cpu_.Submit(config_.cost.WasmCompileCycles(module.size()), [this,
+                                                                  hook, trace,
+                                                                  t0, t2,
+                                                                  image = std::move(
+                                                                      image),
+                                                                  done = std::move(
+                                                                      done)]() mutable {
+        trace->jit = events_.Now() - t2;
+        if (!image.ok()) {
+          done(image.status());
+          return;
+        }
+        const sim::SimTime t3 = events_.Now();
+        cpu_.Submit(config_.cost.attach_fixed_cycles, [this, hook, trace, t0,
+                                                       t3,
+                                                       image = std::move(
+                                                           image),
+                                                       done = std::move(
+                                                           done)]() mutable {
+          // Link imports against the local host-function table.
+          wasm::WasmImage linked = std::move(image).value();
+          for (wasm::WasmReloc& reloc : linked.relocs) {
+            auto symbol = core::SymbolHashName("host:",
+                                               reloc.import_name.c_str());
+            // The agent resolves against its own sandbox's symbols via
+            // the same exported table RDX reads remotely.
+            bool found = false;
+            // Host table order mirrors SandboxConfig::wasm_host_fns.
+            const auto& fns =
+                std::vector<std::string>{"get_header", "set_header",
+                                         "counter_incr", "log_event"};
+            for (std::size_t i = 0; i < fns.size(); ++i) {
+              if (fns[i] == reloc.import_name) {
+                reloc.resolved_host_fn = static_cast<std::int32_t>(i);
+                linked.code[reloc.insn_index].imm =
+                    static_cast<std::int64_t>(i);
+                found = true;
+                break;
+              }
+            }
+            (void)symbol;
+            if (!found) {
+              done(FailedPrecondition("unknown wasm import: " +
+                                      reloc.import_name));
+              return;
+            }
+          }
+          Status attached = AttachImage(linked.Serialize(), hook);
+          if (!attached.ok()) {
+            done(attached);
+            return;
+          }
+          trace->attach = events_.Now() - t3;
+          trace->total = events_.Now() - t0;
+          ++loads_completed_;
+          done(*trace);
+        });
+      });
+    });
+  });
+}
+
+void NodeAgent::StartStatePolling() {
+  if (polling_ || config_.state_poll_interval <= 0) return;
+  polling_ = true;
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, tick] {
+    if (!polling_) return;
+    cpu_.Submit(config_.cost.agent_state_poll_cycles, [] {});
+    events_.ScheduleAfter(config_.state_poll_interval, *tick);
+  };
+  events_.ScheduleAfter(config_.state_poll_interval, *tick);
+}
+
+void NodeAgent::StopStatePolling() { polling_ = false; }
+
+AgentController::AgentController(sim::EventQueue& events,
+                                 ControllerConfig config)
+    : events_(events), config_(config), rng_(config.seed) {}
+
+sim::Duration AgentController::SamplePushDelay(std::size_t config_bytes) {
+  const sim::Duration wire = config_.link.OneWay(config_bytes);
+  const sim::Duration jitter = static_cast<sim::Duration>(
+      rng_.NextExponential(static_cast<double>(config_.push_jitter_mean)));
+  return config_.push_base_delay + wire + jitter;
+}
+
+void AgentController::PushExtension(
+    std::size_t agent_index, const bpf::Program& prog, int hook,
+    std::function<void(StatusOr<AgentTrace>)> done) {
+  NodeAgent* node_agent = agents_.at(agent_index);
+  const sim::Duration delay = SamplePushDelay(prog.size() * 8 + 256);
+  events_.ScheduleAfter(delay, [node_agent, prog, hook,
+                                done = std::move(done)]() mutable {
+    node_agent->LoadExtension(prog, hook, std::move(done));
+  });
+}
+
+void AgentController::PushWasmFilter(
+    std::size_t agent_index, const wasm::FilterModule& module, int hook,
+    std::function<void(StatusOr<AgentTrace>)> done) {
+  NodeAgent* node_agent = agents_.at(agent_index);
+  const sim::Duration delay = SamplePushDelay(module.size() * 9 + 256);
+  events_.ScheduleAfter(delay, [node_agent, module, hook,
+                                done = std::move(done)]() mutable {
+    node_agent->LoadWasmFilter(module, hook, std::move(done));
+  });
+}
+
+template <typename Spec, typename PushFn>
+void AgentController::RolloutImpl(
+    const Spec& spec, int hook, std::vector<std::vector<std::size_t>> waves,
+    PushFn push, std::function<void(StatusOr<RolloutResult>)> done) {
+  if (waves.empty()) {
+    waves.emplace_back();
+    for (std::size_t i = 0; i < agents_.size(); ++i) waves[0].push_back(i);
+  }
+  struct State {
+    sim::SimTime t0;
+    sim::SimTime first_commit = 0;
+    sim::SimTime last_commit = 0;
+    std::size_t nodes = 0;
+    Status error;
+  };
+  auto state = std::make_shared<State>();
+  state->t0 = events_.Now();
+
+  auto run_wave = std::make_shared<std::function<void(std::size_t)>>();
+  auto waves_shared =
+      std::make_shared<std::vector<std::vector<std::size_t>>>(
+          std::move(waves));
+  *run_wave = [this, state, run_wave, waves_shared, spec, hook, push,
+               done = std::move(done)](std::size_t w) mutable {
+    if (w >= waves_shared->size() || !state->error.ok()) {
+      RolloutResult result;
+      result.inconsistency_window = state->last_commit - state->t0;
+      result.total = events_.Now() - state->t0;
+      result.nodes = state->nodes;
+      if (!state->error.ok()) {
+        done(state->error);
+      } else {
+        done(result);
+      }
+      return;
+    }
+    const std::vector<std::size_t>& wave = (*waves_shared)[w];
+    auto remaining = std::make_shared<std::size_t>(wave.size());
+    if (wave.empty()) {
+      (*run_wave)(w + 1);
+      return;
+    }
+    for (std::size_t idx : wave) {
+      push(idx, spec, hook,
+           [this, state, remaining, run_wave, w](StatusOr<AgentTrace> r) {
+             if (!r.ok() && state->error.ok()) state->error = r.status();
+             if (r.ok()) {
+               const sim::SimTime now = events_.Now();
+               if (state->first_commit == 0) state->first_commit = now;
+               state->last_commit = std::max(state->last_commit, now);
+               ++state->nodes;
+             }
+             if (--*remaining == 0) (*run_wave)(w + 1);
+           });
+    }
+  };
+  (*run_wave)(0);
+}
+
+void AgentController::Rollout(
+    const bpf::Program& prog, int hook,
+    std::vector<std::vector<std::size_t>> waves,
+    std::function<void(StatusOr<RolloutResult>)> done) {
+  RolloutImpl(
+      prog, hook, std::move(waves),
+      [this](std::size_t idx, const bpf::Program& p, int h,
+             std::function<void(StatusOr<AgentTrace>)> cb) {
+        PushExtension(idx, p, h, std::move(cb));
+      },
+      std::move(done));
+}
+
+void AgentController::RolloutWasm(
+    const wasm::FilterModule& module, int hook,
+    std::vector<std::vector<std::size_t>> waves,
+    std::function<void(StatusOr<RolloutResult>)> done) {
+  RolloutImpl(
+      module, hook, std::move(waves),
+      [this](std::size_t idx, const wasm::FilterModule& m, int h,
+             std::function<void(StatusOr<AgentTrace>)> cb) {
+        PushWasmFilter(idx, m, h, std::move(cb));
+      },
+      std::move(done));
+}
+
+}  // namespace rdx::agent

@@ -1,0 +1,137 @@
+// The agent-based baseline (Fig 1a): every node runs a local agent
+// daemon that receives extension specs from a central controller over the
+// ordinary network, then verifies, JIT-compiles, and attaches them using
+// the node's *own* CPU — contending with the data path. This is the
+// architecture RDX replaces, and it must exist in full for every
+// comparison figure (2a, 2b, 2c, 4a, 4b, the Redis and mesh claims).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "bpf/verifier.h"
+#include "core/sandbox.h"
+#include "sim/cost_model.h"
+#include "sim/cpu.h"
+#include "sim/network.h"
+
+namespace rdx::agent {
+
+struct AgentConfig {
+  sim::CostModel cost;
+  // Interval of the agent's periodic XState polling (map walks for
+  // telemetry export); 0 disables. Each poll costs
+  // cost.agent_state_poll_cycles on the node CPU.
+  sim::Duration state_poll_interval = 0;
+};
+
+// Phase timings of one agent-side load, for the Fig 4b breakdown.
+struct AgentTrace {
+  sim::Duration queue = 0;   // daemon wakeup + config parse
+  sim::Duration verify = 0;
+  sim::Duration jit = 0;
+  sim::Duration attach = 0;
+  sim::Duration total = 0;
+};
+
+// Per-node agent daemon. Shares the node's CpuScheduler with the
+// workload; every pipeline stage is a cycle demand submitted to it.
+class NodeAgent {
+ public:
+  NodeAgent(sim::EventQueue& events, core::Sandbox& sandbox,
+            sim::CpuScheduler& cpu, AgentConfig config = {});
+  NodeAgent(const NodeAgent&) = delete;
+  NodeAgent& operator=(const NodeAgent&) = delete;
+
+  // Local injection pipeline: verify -> JIT -> attach. The real verifier
+  // and JIT run (functional correctness); their virtual-time cost is
+  // charged to this node's CPU.
+  void LoadExtension(const bpf::Program& prog, int hook,
+                     std::function<void(StatusOr<AgentTrace>)> done);
+  void LoadWasmFilter(const wasm::FilterModule& module, int hook,
+                      std::function<void(StatusOr<AgentTrace>)> done);
+
+  // Begins periodic XState polling (the steady-state agent "tax").
+  void StartStatePolling();
+  void StopStatePolling();
+
+  core::Sandbox& sandbox() { return sandbox_; }
+  sim::CpuScheduler& cpu() { return cpu_; }
+  std::uint64_t loads_completed() const { return loads_completed_; }
+
+ private:
+  // Writes the image + desc into node memory with the local CPU and
+  // swings the hook slot (coherent: visible immediately).
+  Status AttachImage(Bytes image_bytes, int hook);
+
+  sim::EventQueue& events_;
+  core::Sandbox& sandbox_;
+  sim::CpuScheduler& cpu_;
+  AgentConfig config_;
+  bool polling_ = false;
+  std::uint64_t loads_completed_ = 0;
+};
+
+// Central controller: pushes extension specs to agents over the control
+// network (kernel TCP/gRPC path), with the propagation jitter real
+// config-distribution systems exhibit.
+struct ControllerConfig {
+  sim::LinkModel link = sim::AgentControlLink();
+  // Watch-notification propagation: base + exponential jitter, matching
+  // the 10s-to-100s-of-ms config propagation of xDS/K8s deployments.
+  sim::Duration push_base_delay = sim::Millis(5);
+  sim::Duration push_jitter_mean = sim::Millis(20);
+  std::uint64_t seed = 7;
+};
+
+struct RolloutResult {
+  // Interval between update initiation and the last node serving the new
+  // version — the paper's "update inconsistency time" (Fig 2b).
+  sim::Duration inconsistency_window = 0;
+  sim::Duration total = 0;
+  std::size_t nodes = 0;
+};
+
+class AgentController {
+ public:
+  explicit AgentController(sim::EventQueue& events,
+                           ControllerConfig config = {});
+
+  void RegisterAgent(NodeAgent* agent) { agents_.push_back(agent); }
+  std::size_t agent_count() const { return agents_.size(); }
+
+  // Pushes one extension to one agent (config marshal + network + agent
+  // pipeline).
+  void PushExtension(std::size_t agent_index, const bpf::Program& prog,
+                     int hook,
+                     std::function<void(StatusOr<AgentTrace>)> done);
+  void PushWasmFilter(std::size_t agent_index,
+                      const wasm::FilterModule& module, int hook,
+                      std::function<void(StatusOr<AgentTrace>)> done);
+
+  // Eventual-consistency rollout to every agent at once (no ordering
+  // guarantees — the Fig 2b baseline). `waves` optionally groups agents
+  // into dependency waves rolled out sequentially (inter-service DAG
+  // constraints); empty = one unordered wave.
+  void Rollout(const bpf::Program& prog, int hook,
+               std::vector<std::vector<std::size_t>> waves,
+               std::function<void(StatusOr<RolloutResult>)> done);
+  void RolloutWasm(const wasm::FilterModule& module, int hook,
+                   std::vector<std::vector<std::size_t>> waves,
+                   std::function<void(StatusOr<RolloutResult>)> done);
+
+ private:
+  sim::Duration SamplePushDelay(std::size_t config_bytes);
+  template <typename Spec, typename PushFn>
+  void RolloutImpl(const Spec& spec, int hook,
+                   std::vector<std::vector<std::size_t>> waves, PushFn push,
+                   std::function<void(StatusOr<RolloutResult>)> done);
+
+  sim::EventQueue& events_;
+  ControllerConfig config_;
+  Rng rng_;
+  std::vector<NodeAgent*> agents_;
+};
+
+}  // namespace rdx::agent

@@ -1,0 +1,412 @@
+#include "bpf/assembler.h"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bpf/exec.h"
+
+namespace rdx::bpf {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+// Splits one line into tokens. Operators are single tokens; registers,
+// numbers and identifiers are words.
+std::vector<std::string> Tokenize(std::string_view line) {
+  static const char* kOps[] = {
+      "s>>=", "<<=", ">>=", "s>=", "s<=", "+=", "-=", "*=", "/=", "%=",
+      "|=",  "&=",  "^=",  "==", "!=", ">=", "<=", "s>", "s<", "=",
+      ">",   "<",   "&",   "*",  "(",  ")",  "+",  "-",  ":", ",",
+  };
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+      continue;
+    }
+    if (line[i] == ';') break;  // comment
+    bool matched = false;
+    for (const char* op : kOps) {
+      const std::size_t len = std::char_traits<char>::length(op);
+      if (line.compare(i, len, op) == 0) {
+        // Don't split identifiers like "s>>=" greedily out of words; ops
+        // are tried longest-first by table order above.
+        out.emplace_back(op);
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    std::size_t j = i;
+    while (j < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[j])) ||
+            line[j] == '_' || line[j] == 'x')) {
+      ++j;
+    }
+    if (j == i) ++j;  // unknown single char; surfaces as a parse error
+    out.emplace_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::optional<int> ParseReg(const std::string& tok, bool& is32) {
+  if (tok.size() < 2 || (tok[0] != 'r' && tok[0] != 'w')) return std::nullopt;
+  is32 = tok[0] == 'w';
+  int reg = 0;
+  for (std::size_t i = 1; i < tok.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(tok[i]))) return std::nullopt;
+    reg = reg * 10 + (tok[i] - '0');
+  }
+  if (reg >= kNumRegs) return std::nullopt;
+  return reg;
+}
+
+std::optional<std::int64_t> ParseImm(const std::string& tok) {
+  if (tok.empty()) return std::nullopt;
+  std::size_t pos = 0;
+  const bool neg = tok[0] == '-';
+  if (neg) pos = 1;
+  if (pos >= tok.size()) return std::nullopt;
+  std::int64_t value = 0;
+  int base = 10;
+  if (tok.compare(pos, 2, "0x") == 0) {
+    base = 16;
+    pos += 2;
+  }
+  for (; pos < tok.size(); ++pos) {
+    const char c = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(tok[pos])));
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (base == 16 && c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return std::nullopt;
+    }
+    value = value * base + digit;
+  }
+  return neg ? -value : value;
+}
+
+std::optional<std::uint8_t> ParseSize(const std::string& tok) {
+  if (tok == "u8") return kSizeB;
+  if (tok == "u16") return kSizeH;
+  if (tok == "u32") return kSizeW;
+  if (tok == "u64") return kSizeDw;
+  return std::nullopt;
+}
+
+std::optional<std::uint8_t> ParseAluOp(const std::string& tok) {
+  if (tok == "+=") return kAluAdd;
+  if (tok == "-=") return kAluSub;
+  if (tok == "*=") return kAluMul;
+  if (tok == "/=") return kAluDiv;
+  if (tok == "%=") return kAluMod;
+  if (tok == "|=") return kAluOr;
+  if (tok == "&=") return kAluAnd;
+  if (tok == "^=") return kAluXor;
+  if (tok == "<<=") return kAluLsh;
+  if (tok == ">>=") return kAluRsh;
+  if (tok == "s>>=") return kAluArsh;
+  return std::nullopt;
+}
+
+std::optional<std::uint8_t> ParseCond(const std::string& tok) {
+  if (tok == "==") return kJmpJeq;
+  if (tok == "!=") return kJmpJne;
+  if (tok == ">") return kJmpJgt;
+  if (tok == ">=") return kJmpJge;
+  if (tok == "<") return kJmpJlt;
+  if (tok == "<=") return kJmpJle;
+  if (tok == "&") return kJmpJset;
+  if (tok == "s>") return kJmpJsgt;
+  if (tok == "s>=") return kJmpJsge;
+  if (tok == "s<") return kJmpJslt;
+  if (tok == "s<=") return kJmpJsle;
+  return std::nullopt;
+}
+
+std::optional<std::int32_t> HelperByName(const std::string& name) {
+  static const std::pair<const char*, std::int32_t> kNames[] = {
+      {"map_lookup_elem", kHelperMapLookupElem},
+      {"map_update_elem", kHelperMapUpdateElem},
+      {"map_delete_elem", kHelperMapDeleteElem},
+      {"ktime_get_ns", kHelperKtimeGetNs},
+      {"trace_printk", kHelperTracePrintk},
+      {"get_prandom_u32", kHelperGetPrandomU32},
+      {"get_smp_processor_id", kHelperGetSmpProcessorId},
+      {"ringbuf_output", kHelperRingbufOutput},
+  };
+  for (const auto& [n, id] : kNames) {
+    if (name == n) return id;
+  }
+  return std::nullopt;
+}
+
+Status LineError(int line_no, const char* msg) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "line %d: %s", line_no, msg);
+  return InvalidArgument(buf);
+}
+
+}  // namespace
+
+StatusOr<std::vector<Insn>> Assemble(std::string_view source) {
+  std::vector<Insn> insns;
+  std::map<std::string, std::size_t> labels;
+  struct Fixup {
+    std::size_t insn;  // instruction whose off needs the label
+    std::string label;
+    int line_no;
+  };
+  std::vector<Fixup> fixups;
+
+  int line_no = 0;
+  std::size_t start = 0;
+  while (start <= source.size()) {
+    const std::size_t eol = source.find('\n', start);
+    std::string_view line = source.substr(
+        start, eol == std::string_view::npos ? source.size() - start
+                                             : eol - start);
+    start = eol == std::string_view::npos ? source.size() + 1 : eol + 1;
+    ++line_no;
+
+    std::vector<std::string> t = Tokenize(line);
+    if (t.empty()) continue;
+
+    // Label definition: "name :".
+    if (t.size() == 2 && t[1] == ":") {
+      if (labels.count(t[0]) != 0) return LineError(line_no, "duplicate label");
+      labels[t[0]] = insns.size();
+      continue;
+    }
+
+    // exit
+    if (t[0] == "exit") {
+      insns.push_back(Exit());
+      continue;
+    }
+    // goto label
+    if (t[0] == "goto") {
+      if (t.size() != 2) return LineError(line_no, "goto needs a label");
+      fixups.push_back({insns.size(), t[1], line_no});
+      insns.push_back(Jump(0));
+      continue;
+    }
+    // call helper
+    if (t[0] == "call") {
+      if (t.size() != 2) return LineError(line_no, "call needs a helper");
+      std::int32_t id;
+      if (auto by_name = HelperByName(t[1])) {
+        id = *by_name;
+      } else if (auto imm = ParseImm(t[1])) {
+        id = static_cast<std::int32_t>(*imm);
+      } else {
+        return LineError(line_no, "unknown helper");
+      }
+      insns.push_back(Call(id));
+      continue;
+    }
+    // if rX <cond> (rY|imm) goto label
+    if (t[0] == "if") {
+      // Negative immediates arrive as two tokens ("-", "1"); fold them.
+      if (t.size() == 7 && t[3] == "-") {
+        t[3] = "-" + t[4];
+        t.erase(t.begin() + 4);
+      }
+      if (t.size() != 6 || t[4] != "goto") {
+        return LineError(line_no, "malformed conditional branch");
+      }
+      bool is32 = false;
+      auto dst = ParseReg(t[1], is32);
+      if (!dst) return LineError(line_no, "bad branch register");
+      auto cond = ParseCond(t[2]);
+      if (!cond) return LineError(line_no, "bad branch condition");
+      bool src32 = false;
+      if (auto src = ParseReg(t[3], src32); src) {
+        if (src32 != is32) {
+          return LineError(line_no, "mixed 32/64-bit branch operands");
+        }
+        fixups.push_back({insns.size(), t[5], line_no});
+        insns.push_back(is32 ? Jmp32Reg(*cond, *dst, *src, 0)
+                             : JmpReg(*cond, *dst, *src, 0));
+      } else if (auto imm = ParseImm(t[3])) {
+        fixups.push_back({insns.size(), t[5], line_no});
+        insns.push_back(
+            is32 ? Jmp32Imm(*cond, *dst, static_cast<std::int32_t>(*imm), 0)
+                 : JmpImm(*cond, *dst, static_cast<std::int32_t>(*imm), 0));
+      } else {
+        return LineError(line_no, "bad branch operand");
+      }
+      continue;
+    }
+
+    // Store: *(size*)(rX +/- off) = (rY | imm)
+    if (t[0] == "*") {
+      // *(u32*)(r1 + 4) = r2   ->  * ( u32 * ) ( r1 + 4 ) = r2
+      if (t.size() < 12) return LineError(line_no, "malformed store");
+      auto size = ParseSize(t[2]);
+      if (!size || t[1] != "(" || t[3] != "*" || t[4] != ")" || t[5] != "(") {
+        return LineError(line_no, "malformed store address");
+      }
+      bool is32 = false;
+      auto base = ParseReg(t[6], is32);
+      if (!base || is32) return LineError(line_no, "bad store base register");
+      if (t[7] != "+" && t[7] != "-") {
+        return LineError(line_no, "malformed store displacement");
+      }
+      auto disp = ParseImm(t[8]);
+      if (!disp || t[9] != ")" || t[10] != "=") {
+        return LineError(line_no, "malformed store");
+      }
+      const std::int16_t off = static_cast<std::int16_t>(
+          t[7] == "-" ? -*disp : *disp);
+      bool src32 = false;
+      if (auto src = ParseReg(t[11], src32); src && !src32) {
+        insns.push_back(StoreMemReg(*size, *base, *src, off));
+      } else {
+        // Immediate store; support a leading '-' token split.
+        std::string imm_text = t[11];
+        if (t[11] == "-" && t.size() > 12) imm_text = "-" + t[12];
+        auto imm = ParseImm(imm_text);
+        if (!imm) return LineError(line_no, "bad store value");
+        insns.push_back(StoreMemImm(*size, *base, off,
+                                    static_cast<std::int32_t>(*imm)));
+      }
+      continue;
+    }
+
+    // Everything else starts with a register.
+    bool dst32 = false;
+    auto dst = ParseReg(t[0], dst32);
+    if (!dst || t.size() < 2) return LineError(line_no, "unparsed statement");
+
+    // ALU compound: rX op= (rY | imm)
+    if (auto alu = ParseAluOp(t[1])) {
+      if (t.size() < 3) return LineError(line_no, "missing ALU operand");
+      bool src32 = false;
+      if (auto src = ParseReg(t[2], src32); src && src32 == dst32) {
+        insns.push_back(AluReg(*alu, *dst, *src, !dst32));
+      } else {
+        std::string imm_text = t[2];
+        if (t[2] == "-" && t.size() > 3) imm_text = "-" + t[3];
+        auto imm = ParseImm(imm_text);
+        if (!imm) return LineError(line_no, "bad ALU operand");
+        insns.push_back(
+            AluImm(*alu, *dst, static_cast<std::int32_t>(*imm), !dst32));
+      }
+      continue;
+    }
+
+    if (t[1] != "=") return LineError(line_no, "expected '='");
+    if (t.size() < 3) return LineError(line_no, "missing operand");
+
+    // rX = -rX (negate)
+    if (t.size() >= 4 && t[2] == "-") {
+      bool neg32 = false;
+      if (auto src = ParseReg(t[3], neg32); src && *src == *dst &&
+          neg32 == dst32) {
+        insns.push_back(AluImm(kAluNeg, *dst, 0, !dst32));
+        continue;
+      }
+    }
+    // rX = be16 rX / le32 rX / ... (byte swap)
+    if (t.size() >= 4 && t[2].size() == 4 &&
+        (t[2].substr(0, 2) == "be" || t[2].substr(0, 2) == "le")) {
+      const bool to_be = t[2][0] == 'b';
+      const std::string width_text = t[2].substr(2);
+      if (width_text == "16" || width_text == "32" || width_text == "64") {
+        bool swap32 = false;
+        auto src = ParseReg(t[3], swap32);
+        if (!src || swap32 || *src != *dst || dst32) {
+          return LineError(line_no, "byte swap must be rX = beN rX");
+        }
+        insns.push_back(Endian(*dst, std::atoi(width_text.c_str()), to_be));
+        continue;
+      }
+    }
+    // rX = map N
+    if (t[2] == "map") {
+      if (dst32 || t.size() < 4) return LineError(line_no, "bad map load");
+      auto slot = ParseImm(t[3]);
+      if (!slot) return LineError(line_no, "bad map slot");
+      auto [lo, hi] = LoadMapFd(*dst, static_cast<std::int32_t>(*slot));
+      insns.push_back(lo);
+      insns.push_back(hi);
+      continue;
+    }
+    // rX = imm64 VALUE
+    if (t[2] == "imm64") {
+      if (dst32 || t.size() < 4) return LineError(line_no, "bad imm64 load");
+      std::string imm_text = t[3];
+      if (t[3] == "-" && t.size() > 4) imm_text = "-" + t[4];
+      auto imm = ParseImm(imm_text);
+      if (!imm) return LineError(line_no, "bad imm64 value");
+      auto [lo, hi] = LoadImm64(*dst, static_cast<std::uint64_t>(*imm));
+      insns.push_back(lo);
+      insns.push_back(hi);
+      continue;
+    }
+    // Load: rX = *(size*)(rY +/- off)
+    if (t[2] == "*" && t.size() >= 12 && t[3] == "(") {
+      auto size = ParseSize(t[4]);
+      if (!size || t[5] != "*" || t[6] != ")" || t[7] != "(") {
+        return LineError(line_no, "malformed load");
+      }
+      bool base32 = false;
+      auto base = ParseReg(t[8], base32);
+      if (!base || base32) return LineError(line_no, "bad load base");
+      if (t[9] != "+" && t[9] != "-") {
+        return LineError(line_no, "malformed load displacement");
+      }
+      auto disp = ParseImm(t[10]);
+      if (!disp || t[11] != ")") return LineError(line_no, "malformed load");
+      const std::int16_t off = static_cast<std::int16_t>(
+          t[9] == "-" ? -*disp : *disp);
+      if (dst32) return LineError(line_no, "loads write full registers");
+      insns.push_back(LoadMem(*size, *dst, *base, off));
+      continue;
+    }
+    // rX = rY  /  rX = imm
+    {
+      bool src32 = false;
+      if (auto src = ParseReg(t[2], src32); src && src32 == dst32) {
+        insns.push_back(MovReg(*dst, *src, !dst32));
+        continue;
+      }
+      std::string imm_text = t[2];
+      if (t[2] == "-" && t.size() > 3) imm_text = "-" + t[3];
+      auto imm = ParseImm(imm_text);
+      if (!imm) return LineError(line_no, "bad mov operand");
+      insns.push_back(
+          MovImm(*dst, static_cast<std::int32_t>(*imm), !dst32));
+      continue;
+    }
+  }
+
+  // Resolve label fixups.
+  for (const Fixup& fixup : fixups) {
+    auto it = labels.find(fixup.label);
+    if (it == labels.end()) return LineError(fixup.line_no, "unknown label");
+    const std::int64_t rel = static_cast<std::int64_t>(it->second) -
+                             static_cast<std::int64_t>(fixup.insn) - 1;
+    if (rel < INT16_MIN || rel > INT16_MAX) {
+      return LineError(fixup.line_no, "branch target too far");
+    }
+    insns[fixup.insn].off = static_cast<std::int16_t>(rel);
+  }
+  return insns;
+}
+
+}  // namespace rdx::bpf

@@ -1,0 +1,33 @@
+// A small text assembler whose syntax matches the disassembler's output,
+// so tests and examples can express programs readably:
+//
+//   prologue:
+//     r6 = *(u32*)(r1 + 0)     ; load from ctx
+//     w7 = 10                  ; 32-bit mov ("w" register prefix)
+//     r2 = r10
+//     r2 += -8
+//     *(u64*)(r2 + 0) = r6
+//     r1 = map 0               ; LD_IMM64 pseudo-map, slot 0
+//     call map_lookup_elem     ; helpers by name or number
+//     if r0 == 0 goto miss
+//     r0 = *(u64*)(r0 + 0)
+//     exit
+//   miss:
+//     r0 = 0
+//     exit
+//
+// ';' starts a comment. Labels are alphanumeric followed by ':'.
+#pragma once
+
+#include <string_view>
+
+#include "bpf/program.h"
+#include "common/status.h"
+
+namespace rdx::bpf {
+
+// Assembles `source` into instructions. Map slots referenced by `map N`
+// must exist in the Program the caller attaches them to.
+StatusOr<std::vector<Insn>> Assemble(std::string_view source);
+
+}  // namespace rdx::bpf

@@ -1,0 +1,111 @@
+// Shared ALU/branch semantics for the interpreter and the JIT runner.
+// Keeping exactly one definition of these rules means the two engines
+// cannot drift apart — the divergence property tests then only check the
+// dispatch and relocation machinery around them.
+#pragma once
+
+#include <cstdint>
+
+#include "bpf/insn.h"
+
+namespace rdx::bpf::internal {
+
+// Division and modulo by zero produce 0, matching the kernel's patched
+// eBPF semantics. 32-bit ops truncate inputs and zero-extend the result.
+inline std::uint64_t AluEval(std::uint8_t op, std::uint64_t dst,
+                             std::uint64_t src, bool is64, bool& ok) {
+  ok = true;
+  const std::uint64_t shift_mask = is64 ? 63 : 31;
+  std::uint64_t r = 0;
+  switch (op) {
+    case kAluAdd: r = dst + src; break;
+    case kAluSub: r = dst - src; break;
+    case kAluMul: r = dst * src; break;
+    case kAluDiv:
+      r = src == 0 ? 0
+                   : (is64 ? dst / src
+                           : (dst & 0xffffffffull) / (src & 0xffffffffull));
+      break;
+    case kAluMod:
+      r = src == 0 ? 0
+                   : (is64 ? dst % src
+                           : (dst & 0xffffffffull) % (src & 0xffffffffull));
+      break;
+    case kAluOr: r = dst | src; break;
+    case kAluAnd: r = dst & src; break;
+    case kAluXor: r = dst ^ src; break;
+    case kAluLsh: r = dst << (src & shift_mask); break;
+    case kAluRsh:
+      r = is64 ? dst >> (src & shift_mask)
+               : (dst & 0xffffffffull) >> (src & shift_mask);
+      break;
+    case kAluArsh:
+      if (is64) {
+        r = static_cast<std::uint64_t>(static_cast<std::int64_t>(dst) >>
+                                       (src & shift_mask));
+      } else {
+        r = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(static_cast<std::uint32_t>(dst)) >>
+            (src & shift_mask));
+      }
+      break;
+    case kAluNeg: r = ~dst + 1; break;
+    case kAluMov: r = src; break;
+    default: ok = false; return 0;
+  }
+  if (!is64) r &= 0xffffffffull;
+  return r;
+}
+
+// BPF_END on a little-endian host: to-LE truncates to the width; to-BE
+// byte-swaps then truncates. Width must be 16/32/64.
+inline std::uint64_t EndianEval(std::uint64_t v, std::int32_t width,
+                                bool to_be, bool& ok) {
+  ok = true;
+  switch (width) {
+    case 16: {
+      std::uint16_t x = static_cast<std::uint16_t>(v);
+      return to_be ? __builtin_bswap16(x) : x;
+    }
+    case 32: {
+      std::uint32_t x = static_cast<std::uint32_t>(v);
+      return to_be ? __builtin_bswap32(x) : x;
+    }
+    case 64:
+      return to_be ? __builtin_bswap64(v) : v;
+  }
+  ok = false;
+  return 0;
+}
+
+// Sign-extends the low 32 bits; JMP32 semantics reduce to 64-bit JmpEval
+// over sign-extended operands (order-preserving for both signedness
+// interpretations, and JSET agrees because negative operands share
+// bit 31).
+inline std::uint64_t SignExtend32(std::uint64_t v) {
+  return static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(static_cast<std::int32_t>(v)));
+}
+
+inline bool JmpEval(std::uint8_t op, std::uint64_t dst, std::uint64_t src,
+                    bool& ok) {
+  ok = true;
+  const std::int64_t sdst = static_cast<std::int64_t>(dst);
+  const std::int64_t ssrc = static_cast<std::int64_t>(src);
+  switch (op) {
+    case kJmpJeq: return dst == src;
+    case kJmpJne: return dst != src;
+    case kJmpJgt: return dst > src;
+    case kJmpJge: return dst >= src;
+    case kJmpJlt: return dst < src;
+    case kJmpJle: return dst <= src;
+    case kJmpJset: return (dst & src) != 0;
+    case kJmpJsgt: return sdst > ssrc;
+    case kJmpJsge: return sdst >= ssrc;
+    case kJmpJslt: return sdst < ssrc;
+    case kJmpJsle: return sdst <= ssrc;
+    default: ok = false; return false;
+  }
+}
+
+}  // namespace rdx::bpf::internal

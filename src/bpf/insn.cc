@@ -1,0 +1,275 @@
+#include "bpf/insn.h"
+
+#include <cstdio>
+
+namespace rdx::bpf {
+
+int Insn::AccessBytes() const {
+  switch (MemSize()) {
+    case kSizeB: return 1;
+    case kSizeH: return 2;
+    case kSizeW: return 4;
+    case kSizeDw: return 8;
+  }
+  return 0;
+}
+
+namespace {
+Insn Make(std::uint8_t opcode, int dst, int src, std::int16_t off,
+          std::int32_t imm) {
+  Insn insn;
+  insn.opcode = opcode;
+  insn.dst_reg = static_cast<std::uint8_t>(dst) & 0xf;
+  insn.src_reg = static_cast<std::uint8_t>(src) & 0xf;
+  insn.off = off;
+  insn.imm = imm;
+  return insn;
+}
+}  // namespace
+
+Insn AluImm(std::uint8_t op, int dst, std::int32_t imm, bool is64) {
+  return Make((is64 ? kClassAlu64 : kClassAlu) | op | kSrcK, dst, 0, 0, imm);
+}
+
+Insn AluReg(std::uint8_t op, int dst, int src, bool is64) {
+  return Make((is64 ? kClassAlu64 : kClassAlu) | op | kSrcX, dst, src, 0, 0);
+}
+
+Insn MovImm(int dst, std::int32_t imm, bool is64) {
+  return AluImm(kAluMov, dst, imm, is64);
+}
+
+Insn MovReg(int dst, int src, bool is64) {
+  return AluReg(kAluMov, dst, src, is64);
+}
+
+Insn JmpImm(std::uint8_t op, int dst, std::int32_t imm, std::int16_t off) {
+  return Make(kClassJmp | op | kSrcK, dst, 0, off, imm);
+}
+
+Insn JmpReg(std::uint8_t op, int dst, int src, std::int16_t off) {
+  return Make(kClassJmp | op | kSrcX, dst, src, off, 0);
+}
+
+Insn Jump(std::int16_t off) { return Make(kClassJmp | kJmpJa, 0, 0, off, 0); }
+
+Insn Jmp32Imm(std::uint8_t op, int dst, std::int32_t imm, std::int16_t off) {
+  return Make(kClassJmp32 | op | kSrcK, dst, 0, off, imm);
+}
+
+Insn Jmp32Reg(std::uint8_t op, int dst, int src, std::int16_t off) {
+  return Make(kClassJmp32 | op | kSrcX, dst, src, off, 0);
+}
+
+Insn Endian(int dst, int width, bool to_be) {
+  return Make(kClassAlu | kAluEnd | (to_be ? kSrcX : kSrcK), dst, 0, 0,
+              width);
+}
+
+Insn Call(std::int32_t helper_id) {
+  return Make(kClassJmp | kJmpCall, 0, 0, 0, helper_id);
+}
+
+Insn Exit() { return Make(kClassJmp | kJmpExit, 0, 0, 0, 0); }
+
+Insn LoadMem(std::uint8_t size, int dst, int src, std::int16_t off) {
+  return Make(kClassLdx | size | kModeMem, dst, src, off, 0);
+}
+
+Insn StoreMemImm(std::uint8_t size, int dst, std::int16_t off,
+                 std::int32_t imm) {
+  return Make(kClassSt | size | kModeMem, dst, 0, off, imm);
+}
+
+Insn StoreMemReg(std::uint8_t size, int dst, int src, std::int16_t off) {
+  return Make(kClassStx | size | kModeMem, dst, src, off, 0);
+}
+
+std::pair<Insn, Insn> LoadImm64(int dst, std::uint64_t imm) {
+  Insn lo = Make(kClassLd | kSizeDw | kModeImm, dst, 0, 0,
+                 static_cast<std::int32_t>(imm & 0xffffffff));
+  Insn hi = Make(0, 0, 0, 0, static_cast<std::int32_t>(imm >> 32));
+  return {lo, hi};
+}
+
+std::pair<Insn, Insn> LoadMapFd(int dst, std::int32_t map_slot) {
+  Insn lo = Make(kClassLd | kSizeDw | kModeImm, dst, kPseudoMapFd, 0,
+                 map_slot);
+  Insn hi = Make(0, 0, 0, 0, 0);
+  return {lo, hi};
+}
+
+void EncodeInsn(const Insn& insn, Bytes& out) {
+  out.push_back(insn.opcode);
+  out.push_back(static_cast<std::uint8_t>((insn.src_reg << 4) |
+                                          insn.dst_reg));
+  AppendLE<std::int16_t>(out, insn.off);
+  AppendLE<std::int32_t>(out, insn.imm);
+}
+
+Bytes EncodeProgram(const std::vector<Insn>& insns) {
+  Bytes out;
+  out.reserve(insns.size() * 8);
+  for (const Insn& insn : insns) EncodeInsn(insn, out);
+  return out;
+}
+
+StatusOr<std::vector<Insn>> DecodeProgram(ByteSpan bytes) {
+  if (bytes.size() % 8 != 0) {
+    return InvalidArgument("program size not a multiple of 8");
+  }
+  std::vector<Insn> insns;
+  insns.reserve(bytes.size() / 8);
+  for (std::size_t i = 0; i < bytes.size(); i += 8) {
+    Insn insn;
+    insn.opcode = bytes[i];
+    insn.dst_reg = bytes[i + 1] & 0xf;
+    insn.src_reg = (bytes[i + 1] >> 4) & 0xf;
+    insn.off = LoadLE<std::int16_t>(bytes.data() + i + 2);
+    insn.imm = LoadLE<std::int32_t>(bytes.data() + i + 4);
+    insns.push_back(insn);
+  }
+  return insns;
+}
+
+namespace {
+
+const char* AluOpName(std::uint8_t op) {
+  switch (op) {
+    case kAluAdd: return "+=";
+    case kAluSub: return "-=";
+    case kAluMul: return "*=";
+    case kAluDiv: return "/=";
+    case kAluOr: return "|=";
+    case kAluAnd: return "&=";
+    case kAluLsh: return "<<=";
+    case kAluRsh: return ">>=";
+    case kAluMod: return "%=";
+    case kAluXor: return "^=";
+    case kAluMov: return "=";
+    case kAluArsh: return "s>>=";
+    default: return "?=";
+  }
+}
+
+const char* JmpOpName(std::uint8_t op) {
+  switch (op) {
+    case kJmpJeq: return "==";
+    case kJmpJgt: return ">";
+    case kJmpJge: return ">=";
+    case kJmpJset: return "&";
+    case kJmpJne: return "!=";
+    case kJmpJsgt: return "s>";
+    case kJmpJsge: return "s>=";
+    case kJmpJlt: return "<";
+    case kJmpJle: return "<=";
+    case kJmpJslt: return "s<";
+    case kJmpJsle: return "s<=";
+    default: return "?";
+  }
+}
+
+const char* SizeSuffix(std::uint8_t size) {
+  switch (size) {
+    case kSizeB: return "u8";
+    case kSizeH: return "u16";
+    case kSizeW: return "u32";
+    case kSizeDw: return "u64";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Disassemble(const Insn& insn) {
+  char buf[128];
+  const int dst = insn.dst_reg;
+  const int src = insn.src_reg;
+  switch (insn.cls()) {
+    case kClassAlu64:
+    case kClassAlu: {
+      const char* w = insn.cls() == kClassAlu ? " (w)" : "";
+      if (insn.AluOp() == kAluEnd) {
+        std::snprintf(buf, sizeof(buf), "r%d = %s%d r%d", dst,
+                      insn.UsesRegSrc() ? "be" : "le", insn.imm, dst);
+        return buf;
+      }
+      if (insn.AluOp() == kAluNeg) {
+        std::snprintf(buf, sizeof(buf), "r%d = -r%d%s", dst, dst, w);
+      } else if (insn.UsesRegSrc()) {
+        std::snprintf(buf, sizeof(buf), "r%d %s r%d%s", dst,
+                      AluOpName(insn.AluOp()), src, w);
+      } else {
+        std::snprintf(buf, sizeof(buf), "r%d %s %d%s", dst,
+                      AluOpName(insn.AluOp()), insn.imm, w);
+      }
+      return buf;
+    }
+    case kClassJmp32: {
+      if (insn.UsesRegSrc()) {
+        std::snprintf(buf, sizeof(buf), "if w%d %s w%d goto %+d", dst,
+                      JmpOpName(insn.JmpOp()), src, insn.off);
+      } else {
+        std::snprintf(buf, sizeof(buf), "if w%d %s %d goto %+d", dst,
+                      JmpOpName(insn.JmpOp()), insn.imm, insn.off);
+      }
+      return buf;
+    }
+    case kClassJmp: {
+      if (insn.JmpOp() == kJmpJa) {
+        std::snprintf(buf, sizeof(buf), "goto %+d", insn.off);
+      } else if (insn.JmpOp() == kJmpCall) {
+        std::snprintf(buf, sizeof(buf), "call helper#%d", insn.imm);
+      } else if (insn.JmpOp() == kJmpExit) {
+        std::snprintf(buf, sizeof(buf), "exit");
+      } else if (insn.UsesRegSrc()) {
+        std::snprintf(buf, sizeof(buf), "if r%d %s r%d goto %+d", dst,
+                      JmpOpName(insn.JmpOp()), src, insn.off);
+      } else {
+        std::snprintf(buf, sizeof(buf), "if r%d %s %d goto %+d", dst,
+                      JmpOpName(insn.JmpOp()), insn.imm, insn.off);
+      }
+      return buf;
+    }
+    case kClassLdx:
+      std::snprintf(buf, sizeof(buf), "r%d = *(%s*)(r%d %+d)", dst,
+                    SizeSuffix(insn.MemSize()), src, insn.off);
+      return buf;
+    case kClassSt:
+      std::snprintf(buf, sizeof(buf), "*(%s*)(r%d %+d) = %d",
+                    SizeSuffix(insn.MemSize()), dst, insn.off, insn.imm);
+      return buf;
+    case kClassStx:
+      std::snprintf(buf, sizeof(buf), "*(%s*)(r%d %+d) = r%d",
+                    SizeSuffix(insn.MemSize()), dst, insn.off, src);
+      return buf;
+    case kClassLd:
+      if (insn.IsLdImm64()) {
+        if (insn.src_reg == kPseudoMapFd) {
+          std::snprintf(buf, sizeof(buf), "r%d = map[%d]", dst, insn.imm);
+        } else {
+          std::snprintf(buf, sizeof(buf), "r%d = imm64(lo=%d)", dst,
+                        insn.imm);
+        }
+        return buf;
+      }
+      break;
+  }
+  std::snprintf(buf, sizeof(buf), "<op 0x%02x>", insn.opcode);
+  return buf;
+}
+
+std::string DisassembleProgram(const std::vector<Insn>& insns) {
+  std::string out;
+  for (std::size_t i = 0; i < insns.size(); ++i) {
+    char line[32];
+    std::snprintf(line, sizeof(line), "%4zu: ", i);
+    out += line;
+    out += Disassemble(insns[i]);
+    out += '\n';
+    if (insns[i].IsLdImm64()) ++i;  // skip the second slot
+  }
+  return out;
+}
+
+}  // namespace rdx::bpf

@@ -1,0 +1,147 @@
+// eBPF instruction set (subset) using the real kernel encoding: 64-bit
+// instructions with an 8-bit opcode (class | size/mode | operation),
+// 4-bit destination and source registers, 16-bit signed offset, and a
+// 32-bit immediate. BPF_LD_IMM64 occupies two instruction slots, and with
+// src_reg == kPseudoMapFd the immediate names a map (the relocation hook
+// the RDX control plane rewrites at link time, mirroring libbpf).
+//
+// Supported subset: full ALU64/ALU32 (K and X forms), all JMP and JMP32
+// condition codes, CALL/EXIT, byte-swap (BPF_END), LDX/ST/STX of 1/2/4/8
+// bytes, and LD_IMM64. Omitted relative to the kernel: atomics and
+// BPF-to-BPF calls — neither is needed by the paper's socket-filter
+// workloads (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace rdx::bpf {
+
+// ---- Instruction classes (low 3 bits of opcode) ----
+constexpr std::uint8_t kClassLd = 0x00;
+constexpr std::uint8_t kClassLdx = 0x01;
+constexpr std::uint8_t kClassSt = 0x02;
+constexpr std::uint8_t kClassStx = 0x03;
+constexpr std::uint8_t kClassAlu = 0x04;
+constexpr std::uint8_t kClassJmp = 0x05;
+constexpr std::uint8_t kClassJmp32 = 0x06;  // compares on low 32 bits
+constexpr std::uint8_t kClassAlu64 = 0x07;
+
+// ---- Size field for memory ops (bits 3-4) ----
+constexpr std::uint8_t kSizeW = 0x00;   // 4 bytes
+constexpr std::uint8_t kSizeH = 0x08;   // 2 bytes
+constexpr std::uint8_t kSizeB = 0x10;   // 1 byte
+constexpr std::uint8_t kSizeDw = 0x18;  // 8 bytes
+
+// ---- Mode field for memory ops (bits 5-7) ----
+constexpr std::uint8_t kModeImm = 0x00;  // LD_IMM64
+constexpr std::uint8_t kModeMem = 0x60;
+
+// ---- ALU / JMP operation field (bits 4-7) ----
+constexpr std::uint8_t kAluAdd = 0x00;
+constexpr std::uint8_t kAluSub = 0x10;
+constexpr std::uint8_t kAluMul = 0x20;
+constexpr std::uint8_t kAluDiv = 0x30;
+constexpr std::uint8_t kAluOr = 0x40;
+constexpr std::uint8_t kAluAnd = 0x50;
+constexpr std::uint8_t kAluLsh = 0x60;
+constexpr std::uint8_t kAluRsh = 0x70;
+constexpr std::uint8_t kAluNeg = 0x80;
+constexpr std::uint8_t kAluMod = 0x90;
+constexpr std::uint8_t kAluXor = 0xa0;
+constexpr std::uint8_t kAluMov = 0xb0;
+constexpr std::uint8_t kAluArsh = 0xc0;
+// Byte-swap (BPF_END): the source bit selects to-LE (K) / to-BE (X) and
+// imm selects the width (16/32/64).
+constexpr std::uint8_t kAluEnd = 0xd0;
+
+constexpr std::uint8_t kJmpJa = 0x00;
+constexpr std::uint8_t kJmpJeq = 0x10;
+constexpr std::uint8_t kJmpJgt = 0x20;
+constexpr std::uint8_t kJmpJge = 0x30;
+constexpr std::uint8_t kJmpJset = 0x40;
+constexpr std::uint8_t kJmpJne = 0x50;
+constexpr std::uint8_t kJmpJsgt = 0x60;
+constexpr std::uint8_t kJmpJsge = 0x70;
+constexpr std::uint8_t kJmpCall = 0x80;
+constexpr std::uint8_t kJmpExit = 0x90;
+constexpr std::uint8_t kJmpJlt = 0xa0;
+constexpr std::uint8_t kJmpJle = 0xb0;
+constexpr std::uint8_t kJmpJslt = 0xc0;
+constexpr std::uint8_t kJmpJsle = 0xd0;
+
+// ---- Source bit (bit 3 of ALU/JMP opcodes) ----
+constexpr std::uint8_t kSrcK = 0x00;  // immediate operand
+constexpr std::uint8_t kSrcX = 0x08;  // register operand
+
+// src_reg value marking an LD_IMM64 whose immediate is a map reference.
+constexpr std::uint8_t kPseudoMapFd = 1;
+
+constexpr int kNumRegs = 11;     // r0..r10
+constexpr int kStackSize = 512;  // bytes of per-invocation stack
+constexpr int kFrameReg = 10;    // r10: read-only frame pointer
+constexpr int kMaxHelperArgs = 5;
+
+struct Insn {
+  std::uint8_t opcode = 0;
+  std::uint8_t dst_reg : 4;
+  std::uint8_t src_reg : 4;
+  std::int16_t off = 0;
+  std::int32_t imm = 0;
+
+  Insn() : dst_reg(0), src_reg(0) {}
+
+  std::uint8_t cls() const { return opcode & 0x07; }
+  bool IsAlu() const { return cls() == kClassAlu || cls() == kClassAlu64; }
+  bool IsJmp() const { return cls() == kClassJmp || cls() == kClassJmp32; }
+  std::uint8_t AluOp() const { return opcode & 0xf0; }
+  std::uint8_t JmpOp() const { return opcode & 0xf0; }
+  bool UsesRegSrc() const { return (opcode & 0x08) != 0; }
+  std::uint8_t MemSize() const { return opcode & 0x18; }
+  std::uint8_t MemMode() const { return opcode & 0xe0; }
+  bool IsLdImm64() const {
+    return opcode == (kClassLd | kSizeDw | kModeImm);
+  }
+  // Bytes accessed by LDX/ST/STX.
+  int AccessBytes() const;
+};
+
+static_assert(sizeof(Insn) == 8, "eBPF instructions are 8 bytes");
+
+// ---- Constructors for the common instruction forms ----
+Insn AluImm(std::uint8_t op, int dst, std::int32_t imm, bool is64 = true);
+Insn AluReg(std::uint8_t op, int dst, int src, bool is64 = true);
+Insn MovImm(int dst, std::int32_t imm, bool is64 = true);
+Insn MovReg(int dst, int src, bool is64 = true);
+Insn JmpImm(std::uint8_t op, int dst, std::int32_t imm, std::int16_t off);
+Insn JmpReg(std::uint8_t op, int dst, int src, std::int16_t off);
+// 32-bit conditional branches (JMP32 class).
+Insn Jmp32Imm(std::uint8_t op, int dst, std::int32_t imm, std::int16_t off);
+Insn Jmp32Reg(std::uint8_t op, int dst, int src, std::int16_t off);
+// Byte swap: width is 16, 32, or 64; to_be selects big-endian target.
+Insn Endian(int dst, int width, bool to_be);
+Insn Jump(std::int16_t off);
+Insn Call(std::int32_t helper_id);
+Insn Exit();
+Insn LoadMem(std::uint8_t size, int dst, int src, std::int16_t off);
+Insn StoreMemImm(std::uint8_t size, int dst, std::int16_t off,
+                 std::int32_t imm);
+Insn StoreMemReg(std::uint8_t size, int dst, int src, std::int16_t off);
+// Returns the two-slot LD_IMM64 pair.
+std::pair<Insn, Insn> LoadImm64(int dst, std::uint64_t imm);
+std::pair<Insn, Insn> LoadMapFd(int dst, std::int32_t map_slot);
+
+// ---- Wire format ----
+void EncodeInsn(const Insn& insn, Bytes& out);
+StatusOr<std::vector<Insn>> DecodeProgram(ByteSpan bytes);
+Bytes EncodeProgram(const std::vector<Insn>& insns);
+
+// One-line human-readable rendering, e.g. "r0 += 42" or "if r1 == r2 goto +5".
+std::string Disassemble(const Insn& insn);
+std::string DisassembleProgram(const std::vector<Insn>& insns);
+
+}  // namespace rdx::bpf

@@ -1,0 +1,144 @@
+#include "bpf/interpreter.h"
+
+#include "bpf/eval_inl.h"
+
+namespace rdx::bpf {
+
+using internal::AluEval;
+using internal::JmpEval;
+StatusOr<ExecResult> Interpret(const std::vector<Insn>& insns,
+                               RuntimeContext& rt, const ExecOptions& opts) {
+  if (rt.mem == nullptr) return Internal("RuntimeContext without MemSpace");
+  std::uint64_t regs[kNumRegs] = {};
+  regs[1] = opts.ctx_addr;
+  regs[kFrameReg] = opts.stack_addr + kStackSize;
+
+  ExecResult result;
+  std::size_t pc = 0;
+  while (true) {
+    if (pc >= insns.size()) {
+      return Aborted("program counter ran off the end");
+    }
+    if (++result.insns_executed > opts.insn_limit) {
+      return Aborted("instruction limit exceeded");
+    }
+    const Insn& insn = insns[pc];
+    switch (insn.cls()) {
+      case kClassAlu64:
+      case kClassAlu: {
+        if (insn.AluOp() == kAluEnd) {
+          if (insn.cls() != kClassAlu) {
+            return InvalidArgument("BPF_END outside the ALU class");
+          }
+          bool swap_ok = false;
+          regs[insn.dst_reg] = internal::EndianEval(
+              regs[insn.dst_reg], insn.imm, insn.UsesRegSrc(), swap_ok);
+          if (!swap_ok) return InvalidArgument("bad byte-swap width");
+          ++pc;
+          break;
+        }
+        const bool is64 = insn.cls() == kClassAlu64;
+        const std::uint64_t src =
+            insn.AluOp() == kAluNeg
+                ? 0
+                : (insn.UsesRegSrc()
+                       ? regs[insn.src_reg]
+                       : static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(insn.imm)));
+        bool ok = false;
+        regs[insn.dst_reg] =
+            AluEval(insn.AluOp(), regs[insn.dst_reg], src, is64, ok);
+        if (!ok) return InvalidArgument("bad ALU opcode at runtime");
+        ++pc;
+        break;
+      }
+      case kClassJmp32: {
+        const std::uint64_t dst_val =
+            internal::SignExtend32(regs[insn.dst_reg]);
+        const std::uint64_t src_val = internal::SignExtend32(
+            insn.UsesRegSrc() ? regs[insn.src_reg]
+                              : static_cast<std::uint64_t>(
+                                    static_cast<std::int64_t>(insn.imm)));
+        bool ok = false;
+        const bool taken = JmpEval(insn.JmpOp(), dst_val, src_val, ok);
+        if (!ok) return InvalidArgument("bad JMP32 opcode at runtime");
+        pc = taken ? pc + 1 + insn.off : pc + 1;
+        break;
+      }
+      case kClassJmp: {
+        const std::uint8_t op = insn.JmpOp();
+        if (op == kJmpJa) {
+          pc = pc + 1 + insn.off;
+          break;
+        }
+        if (op == kJmpExit) {
+          result.r0 = regs[0];
+          return result;
+        }
+        if (op == kJmpCall) {
+          std::array<std::uint64_t, kMaxHelperArgs> args = {
+              regs[1], regs[2], regs[3], regs[4], regs[5]};
+          RDX_ASSIGN_OR_RETURN(regs[0], CallHelperFn(rt, insn.imm, args));
+          // r1-r5 are caller-saved and clobbered by the call.
+          for (int r = 1; r <= 5; ++r) regs[r] = 0;
+          ++pc;
+          break;
+        }
+        const std::uint64_t src =
+            insn.UsesRegSrc() ? regs[insn.src_reg]
+                              : static_cast<std::uint64_t>(
+                                    static_cast<std::int64_t>(insn.imm));
+        bool ok = false;
+        const bool taken = JmpEval(op, regs[insn.dst_reg], src, ok);
+        if (!ok) return InvalidArgument("bad JMP opcode at runtime");
+        pc = taken ? pc + 1 + insn.off : pc + 1;
+        break;
+      }
+      case kClassLdx: {
+        const std::uint64_t addr =
+            regs[insn.src_reg] + static_cast<std::int64_t>(insn.off);
+        std::uint64_t value = 0;
+        RDX_RETURN_IF_ERROR(
+            rt.mem->LoadInt(addr, insn.AccessBytes(), value));
+        regs[insn.dst_reg] = value;
+        ++pc;
+        break;
+      }
+      case kClassSt: {
+        const std::uint64_t addr =
+            regs[insn.dst_reg] + static_cast<std::int64_t>(insn.off);
+        RDX_RETURN_IF_ERROR(rt.mem->StoreInt(
+            addr, insn.AccessBytes(),
+            static_cast<std::uint64_t>(
+                static_cast<std::int64_t>(insn.imm))));
+        ++pc;
+        break;
+      }
+      case kClassStx: {
+        const std::uint64_t addr =
+            regs[insn.dst_reg] + static_cast<std::int64_t>(insn.off);
+        RDX_RETURN_IF_ERROR(rt.mem->StoreInt(addr, insn.AccessBytes(),
+                                             regs[insn.src_reg]));
+        ++pc;
+        break;
+      }
+      case kClassLd: {
+        if (!insn.IsLdImm64() || pc + 1 >= insns.size()) {
+          return InvalidArgument("bad LD instruction at runtime");
+        }
+        const Insn& hi = insns[pc + 1];
+        std::uint64_t value =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(hi.imm))
+             << 32) |
+            static_cast<std::uint32_t>(insn.imm);
+        regs[insn.dst_reg] = value;
+        pc += 2;
+        break;
+      }
+      default:
+        return InvalidArgument("unknown instruction class at runtime");
+    }
+  }
+}
+
+}  // namespace rdx::bpf

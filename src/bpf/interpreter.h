@@ -1,0 +1,22 @@
+// Reference interpreter. Executes raw (decoded) instructions against a
+// RuntimeContext. Used by the agent baseline when JIT is disabled, by the
+// divergence property tests (interpreter vs JIT must agree), and as the
+// semantic ground truth for the ISA subset.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bpf/exec.h"
+#include "bpf/insn.h"
+
+namespace rdx::bpf {
+
+// Runs `insns` to completion (EXIT) and returns r0. Runtime errors
+// (bad memory access, division trap policy violations, instruction-limit
+// overrun) are reported as Status — a verified program never hits them,
+// which is exactly what the verifier tests assert.
+StatusOr<ExecResult> Interpret(const std::vector<Insn>& insns,
+                               RuntimeContext& rt, const ExecOptions& opts);
+
+}  // namespace rdx::bpf

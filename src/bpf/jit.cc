@@ -1,0 +1,463 @@
+#include "bpf/jit.h"
+
+#include <unordered_map>
+
+#include "bpf/eval_inl.h"
+
+namespace rdx::bpf {
+
+bool JitImage::IsLinked() const {
+  for (const Relocation& reloc : relocs) {
+    if (reloc.kind == RelocKind::kMapAddress &&
+        code[reloc.index].imm64 == kUnlinkedPlaceholder) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+constexpr std::uint32_t kImageMagic = 0x4a584452;  // "RDXJ"
+constexpr std::uint32_t kImageVersion = 4;
+
+bool KindHasTarget(OpKind kind) {
+  return kind == OpKind::kJumpAbs || kind == OpKind::kCondJmpK ||
+         kind == OpKind::kCondJmpX || kind == OpKind::kCondJmp32K ||
+         kind == OpKind::kCondJmp32X || kind == OpKind::kStoreImm;
+}
+bool KindHasImm64(OpKind kind) { return kind == OpKind::kLoadImm64; }
+
+void AppendString(Bytes& out, const std::string& s) {
+  AppendLE<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+StatusOr<std::string> ReadString(ByteSpan bytes, std::size_t& off) {
+  if (off + 4 > bytes.size()) return InvalidArgument("truncated string");
+  const std::uint32_t len = LoadLE<std::uint32_t>(bytes.data() + off);
+  off += 4;
+  if (off + len > bytes.size()) return InvalidArgument("truncated string");
+  std::string s(reinterpret_cast<const char*>(bytes.data() + off), len);
+  off += len;
+  return s;
+}
+}  // namespace
+
+Bytes JitImage::Serialize() const {
+  Bytes out;
+  AppendLE<std::uint32_t>(out, kImageMagic);
+  AppendLE<std::uint32_t>(out, kImageVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(0);
+  out.push_back(0);
+  out.push_back(0);
+  AppendString(out, program_name);
+
+  // Variable-length encoding keeps the deployed binary near the ~8
+  // bytes/insn of a native eBPF JIT: a 4-byte header + 4-byte imm, with
+  // the branch target / 64-bit immediate only where the kind needs them.
+  AppendLE<std::uint32_t>(out, static_cast<std::uint32_t>(code.size()));
+  for (const MicroOp& op : code) {
+    out.push_back(static_cast<std::uint8_t>(op.kind));
+    out.push_back(op.aux);
+    out.push_back(op.dst);
+    out.push_back(op.src);
+    AppendLE<std::int32_t>(out, op.imm);
+    if (KindHasTarget(op.kind)) AppendLE<std::uint32_t>(out, op.target);
+    if (KindHasImm64(op.kind)) AppendLE<std::uint64_t>(out, op.imm64);
+  }
+
+  AppendLE<std::uint32_t>(out, static_cast<std::uint32_t>(relocs.size()));
+  for (const Relocation& reloc : relocs) {
+    out.push_back(static_cast<std::uint8_t>(reloc.kind));
+    out.push_back(0);
+    out.push_back(0);
+    out.push_back(0);
+    AppendLE<std::uint32_t>(out, reloc.index);
+    AppendLE<std::int32_t>(out, reloc.symbol);
+  }
+
+  AppendLE<std::uint32_t>(out, static_cast<std::uint32_t>(maps.size()));
+  for (const MapSpec& map : maps) {
+    AppendString(out, map.name);
+    out.push_back(static_cast<std::uint8_t>(map.type));
+    out.push_back(0);
+    out.push_back(0);
+    out.push_back(0);
+    AppendLE<std::uint32_t>(out, map.key_size);
+    AppendLE<std::uint32_t>(out, map.value_size);
+    AppendLE<std::uint32_t>(out, map.max_entries);
+  }
+
+  AppendLE<std::uint64_t>(out, Fnv1a64(out));
+  return out;
+}
+
+StatusOr<JitImage> JitImage::Deserialize(ByteSpan bytes) {
+  if (bytes.size() < 20) return InvalidArgument("image too small");
+  const std::uint64_t stored_sum =
+      LoadLE<std::uint64_t>(bytes.data() + bytes.size() - 8);
+  if (Fnv1a64(bytes.subspan(0, bytes.size() - 8)) != stored_sum) {
+    return FailedPrecondition("image checksum mismatch");
+  }
+  std::size_t off = 0;
+  if (LoadLE<std::uint32_t>(bytes.data()) != kImageMagic) {
+    return InvalidArgument("bad image magic");
+  }
+  off += 4;
+  if (LoadLE<std::uint32_t>(bytes.data() + off) != kImageVersion) {
+    return InvalidArgument("unsupported image version");
+  }
+  off += 4;
+  JitImage image;
+  image.type = static_cast<ProgramType>(bytes[off]);
+  off += 4;
+  RDX_ASSIGN_OR_RETURN(image.program_name, ReadString(bytes, off));
+
+  if (off + 4 > bytes.size()) return InvalidArgument("truncated code count");
+  const std::uint32_t ncode = LoadLE<std::uint32_t>(bytes.data() + off);
+  off += 4;
+  image.code.reserve(ncode);
+  for (std::uint32_t i = 0; i < ncode; ++i) {
+    if (off + 8 > bytes.size()) {
+      return InvalidArgument("truncated code section");
+    }
+    MicroOp op;
+    op.kind = static_cast<OpKind>(bytes[off]);
+    if (op.kind > OpKind::kEndian) {
+      return InvalidArgument("unknown micro-op kind");
+    }
+    op.aux = bytes[off + 1];
+    op.dst = bytes[off + 2];
+    op.src = bytes[off + 3];
+    op.imm = LoadLE<std::int32_t>(bytes.data() + off + 4);
+    off += 8;
+    if (KindHasTarget(op.kind)) {
+      if (off + 4 > bytes.size()) return InvalidArgument("truncated code");
+      op.target = LoadLE<std::uint32_t>(bytes.data() + off);
+      off += 4;
+    }
+    if (KindHasImm64(op.kind)) {
+      if (off + 8 > bytes.size()) return InvalidArgument("truncated code");
+      op.imm64 = LoadLE<std::uint64_t>(bytes.data() + off);
+      off += 8;
+    }
+    image.code.push_back(op);
+  }
+
+  if (off + 4 > bytes.size()) return InvalidArgument("truncated relocs");
+  const std::uint32_t nrelocs = LoadLE<std::uint32_t>(bytes.data() + off);
+  off += 4;
+  if (off + static_cast<std::size_t>(nrelocs) * 12 > bytes.size()) {
+    return InvalidArgument("truncated reloc section");
+  }
+  for (std::uint32_t i = 0; i < nrelocs; ++i) {
+    Relocation reloc;
+    reloc.kind = static_cast<RelocKind>(bytes[off]);
+    reloc.index = LoadLE<std::uint32_t>(bytes.data() + off + 4);
+    reloc.symbol = LoadLE<std::int32_t>(bytes.data() + off + 8);
+    if (reloc.index >= image.code.size()) {
+      return InvalidArgument("relocation index out of range");
+    }
+    image.relocs.push_back(reloc);
+    off += 12;
+  }
+
+  if (off + 4 > bytes.size()) return InvalidArgument("truncated maps");
+  const std::uint32_t nmaps = LoadLE<std::uint32_t>(bytes.data() + off);
+  off += 4;
+  for (std::uint32_t i = 0; i < nmaps; ++i) {
+    MapSpec map;
+    RDX_ASSIGN_OR_RETURN(map.name, ReadString(bytes, off));
+    if (off + 16 > bytes.size()) return InvalidArgument("truncated map spec");
+    map.type = static_cast<MapType>(bytes[off]);
+    map.key_size = LoadLE<std::uint32_t>(bytes.data() + off + 4);
+    map.value_size = LoadLE<std::uint32_t>(bytes.data() + off + 8);
+    map.max_entries = LoadLE<std::uint32_t>(bytes.data() + off + 12);
+    image.maps.push_back(std::move(map));
+    off += 16;
+  }
+  return image;
+}
+
+std::uint64_t JitImage::Fingerprint() const {
+  // Hash the semantic content with map-address slots normalized back to
+  // placeholders, so a linked and an unlinked copy of the same compile
+  // fingerprint identically.
+  JitImage normalized = *this;
+  for (const Relocation& reloc : normalized.relocs) {
+    if (reloc.kind == RelocKind::kMapAddress) {
+      normalized.code[reloc.index].imm64 = kUnlinkedPlaceholder;
+    }
+  }
+  return Fnv1a64(normalized.Serialize());
+}
+
+StatusOr<JitImage> JitCompiler::Compile(const Program& prog) const {
+  if (prog.insns.empty()) return InvalidArgument("empty program");
+
+  JitImage image;
+  image.program_name = prog.name;
+  image.type = prog.type;
+  image.maps = prog.maps;
+
+  // Pass 1: lower instructions; remember insn index -> micro-op index.
+  std::vector<std::uint32_t> micro_index(prog.insns.size() + 1, 0);
+  struct PendingJump {
+    std::uint32_t micro;   // micro-op to patch
+    std::size_t target_insn;
+  };
+  std::vector<PendingJump> pending;
+
+  for (std::size_t i = 0; i < prog.insns.size(); ++i) {
+    const Insn& insn = prog.insns[i];
+    micro_index[i] = static_cast<std::uint32_t>(image.code.size());
+    MicroOp op;
+    op.dst = insn.dst_reg;
+    op.src = insn.src_reg;
+    op.imm = insn.imm;
+    switch (insn.cls()) {
+      case kClassAlu64:
+      case kClassAlu: {
+        if (insn.AluOp() == kAluEnd) {
+          if (insn.cls() != kClassAlu) {
+            return InvalidArgument("BPF_END outside the ALU class");
+          }
+          if (insn.imm != 16 && insn.imm != 32 && insn.imm != 64) {
+            return InvalidArgument("bad byte-swap width");
+          }
+          op.kind = OpKind::kEndian;
+          op.aux = static_cast<std::uint8_t>(insn.imm);
+          op.src = insn.UsesRegSrc() ? 1 : 0;
+          break;
+        }
+        const bool is64 = insn.cls() == kClassAlu64;
+        op.kind = insn.UsesRegSrc() ? (is64 ? OpKind::kAlu64X : OpKind::kAlu32X)
+                                    : (is64 ? OpKind::kAlu64K : OpKind::kAlu32K);
+        op.aux = insn.AluOp();
+        break;
+      }
+      case kClassJmp32: {
+        const std::size_t target = i + 1 + insn.off;
+        if (target > prog.insns.size()) {
+          return InvalidArgument("jump out of range");
+        }
+        op.kind = insn.UsesRegSrc() ? OpKind::kCondJmp32X
+                                    : OpKind::kCondJmp32K;
+        op.aux = insn.JmpOp();
+        pending.push_back(
+            {static_cast<std::uint32_t>(image.code.size()), target});
+        break;
+      }
+      case kClassJmp: {
+        const std::uint8_t jop = insn.JmpOp();
+        if (jop == kJmpExit) {
+          op.kind = OpKind::kExit;
+        } else if (jop == kJmpCall) {
+          op.kind = OpKind::kCall;
+          if (FindHelper(insn.imm) == nullptr) {
+            return InvalidArgument("call to unknown helper");
+          }
+          image.relocs.push_back(
+              {RelocKind::kHelperCall,
+               static_cast<std::uint32_t>(image.code.size()), insn.imm});
+        } else {
+          const std::size_t target = i + 1 + insn.off;
+          if (target > prog.insns.size()) {
+            return InvalidArgument("jump out of range");
+          }
+          if (jop == kJmpJa) {
+            op.kind = OpKind::kJumpAbs;
+          } else {
+            op.kind = insn.UsesRegSrc() ? OpKind::kCondJmpX
+                                        : OpKind::kCondJmpK;
+            op.aux = jop;
+          }
+          pending.push_back(
+              {static_cast<std::uint32_t>(image.code.size()), target});
+        }
+        break;
+      }
+      case kClassLdx:
+        op.kind = OpKind::kLoad;
+        op.aux = static_cast<std::uint8_t>(insn.AccessBytes());
+        op.imm = insn.off;  // displacement travels in imm
+        break;
+      case kClassSt:
+        op.kind = OpKind::kStoreImm;
+        op.aux = static_cast<std::uint8_t>(insn.AccessBytes());
+        op.target = static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(insn.off));  // displacement
+        break;
+      case kClassStx:
+        op.kind = OpKind::kStoreReg;
+        op.aux = static_cast<std::uint8_t>(insn.AccessBytes());
+        op.imm = insn.off;
+        break;
+      case kClassLd: {
+        if (!insn.IsLdImm64() || i + 1 >= prog.insns.size()) {
+          return InvalidArgument("malformed LD_IMM64");
+        }
+        op.kind = OpKind::kLoadImm64;
+        const Insn& hi = prog.insns[i + 1];
+        if (insn.src_reg == kPseudoMapFd) {
+          if (insn.imm < 0 ||
+              static_cast<std::size_t>(insn.imm) >= prog.maps.size()) {
+            return InvalidArgument("map slot out of range");
+          }
+          op.imm64 = kUnlinkedPlaceholder;
+          image.relocs.push_back(
+              {RelocKind::kMapAddress,
+               static_cast<std::uint32_t>(image.code.size()), insn.imm});
+        } else {
+          op.imm64 = (static_cast<std::uint64_t>(
+                          static_cast<std::uint32_t>(hi.imm))
+                      << 32) |
+                     static_cast<std::uint32_t>(insn.imm);
+        }
+        // The second slot maps to the same micro-op.
+        micro_index[i + 1] = micro_index[i];
+        ++i;
+        break;
+      }
+      default:
+        return InvalidArgument("unknown instruction class");
+    }
+    image.code.push_back(op);
+  }
+  micro_index[prog.insns.size()] =
+      static_cast<std::uint32_t>(image.code.size());
+
+  // Pass 2: resolve branch targets to absolute micro-op indices.
+  for (const PendingJump& jump : pending) {
+    image.code[jump.micro].target = micro_index[jump.target_insn];
+  }
+  return image;
+}
+
+StatusOr<ExecResult> RunJit(const JitImage& image, RuntimeContext& rt,
+                            const ExecOptions& opts) {
+  if (rt.mem == nullptr) return Internal("RuntimeContext without MemSpace");
+  if (!image.IsLinked()) {
+    return FailedPrecondition("executing unlinked image");
+  }
+  std::uint64_t regs[kNumRegs] = {};
+  regs[1] = opts.ctx_addr;
+  regs[kFrameReg] = opts.stack_addr + kStackSize;
+
+  ExecResult result;
+  std::uint32_t pc = 0;
+  const std::size_t n = image.code.size();
+  while (true) {
+    if (pc >= n) return Aborted("jit pc ran off the end");
+    if (++result.insns_executed > opts.insn_limit) {
+      return Aborted("instruction limit exceeded");
+    }
+    const MicroOp& op = image.code[pc];
+    switch (op.kind) {
+      case OpKind::kAlu64K:
+      case OpKind::kAlu64X:
+      case OpKind::kAlu32K:
+      case OpKind::kAlu32X: {
+        const bool is64 =
+            op.kind == OpKind::kAlu64K || op.kind == OpKind::kAlu64X;
+        const bool reg_src =
+            op.kind == OpKind::kAlu64X || op.kind == OpKind::kAlu32X;
+        const std::uint64_t src =
+            op.aux == kAluNeg
+                ? 0
+                : (reg_src ? regs[op.src]
+                           : static_cast<std::uint64_t>(
+                                 static_cast<std::int64_t>(op.imm)));
+        bool ok = false;
+        regs[op.dst] = internal::AluEval(op.aux, regs[op.dst], src, is64, ok);
+        if (!ok) return Internal("jit image with bad ALU op");
+        ++pc;
+        break;
+      }
+      case OpKind::kJumpAbs:
+        pc = op.target;
+        break;
+      case OpKind::kCondJmpK:
+      case OpKind::kCondJmpX: {
+        const std::uint64_t src =
+            op.kind == OpKind::kCondJmpX
+                ? regs[op.src]
+                : static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(op.imm));
+        bool ok = false;
+        const bool taken = internal::JmpEval(op.aux, regs[op.dst], src, ok);
+        if (!ok) return Internal("jit image with bad JMP op");
+        pc = taken ? op.target : pc + 1;
+        break;
+      }
+      case OpKind::kCall: {
+        std::array<std::uint64_t, kMaxHelperArgs> args = {
+            regs[1], regs[2], regs[3], regs[4], regs[5]};
+        RDX_ASSIGN_OR_RETURN(regs[0], CallHelperFn(rt, op.imm, args));
+        for (int r = 1; r <= 5; ++r) regs[r] = 0;
+        ++pc;
+        break;
+      }
+      case OpKind::kExit:
+        result.r0 = regs[0];
+        return result;
+      case OpKind::kLoad: {
+        const std::uint64_t addr =
+            regs[op.src] + static_cast<std::int64_t>(op.imm);
+        std::uint64_t value = 0;
+        RDX_RETURN_IF_ERROR(rt.mem->LoadInt(addr, op.aux, value));
+        regs[op.dst] = value;
+        ++pc;
+        break;
+      }
+      case OpKind::kStoreImm: {
+        const std::uint64_t addr =
+            regs[op.dst] +
+            static_cast<std::int64_t>(static_cast<std::int32_t>(op.target));
+        RDX_RETURN_IF_ERROR(rt.mem->StoreInt(
+            addr, op.aux,
+            static_cast<std::uint64_t>(static_cast<std::int64_t>(op.imm))));
+        ++pc;
+        break;
+      }
+      case OpKind::kStoreReg: {
+        const std::uint64_t addr =
+            regs[op.dst] + static_cast<std::int64_t>(op.imm);
+        RDX_RETURN_IF_ERROR(rt.mem->StoreInt(addr, op.aux, regs[op.src]));
+        ++pc;
+        break;
+      }
+      case OpKind::kLoadImm64:
+        regs[op.dst] = op.imm64;
+        ++pc;
+        break;
+      case OpKind::kCondJmp32K:
+      case OpKind::kCondJmp32X: {
+        const std::uint64_t dst_val = internal::SignExtend32(regs[op.dst]);
+        const std::uint64_t src_val = internal::SignExtend32(
+            op.kind == OpKind::kCondJmp32X
+                ? regs[op.src]
+                : static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(op.imm)));
+        bool ok = false;
+        const bool taken = internal::JmpEval(op.aux, dst_val, src_val, ok);
+        if (!ok) return Internal("jit image with bad JMP32 op");
+        pc = taken ? op.target : pc + 1;
+        break;
+      }
+      case OpKind::kEndian: {
+        bool swap_ok = false;
+        regs[op.dst] = internal::EndianEval(regs[op.dst], op.aux,
+                                            op.src != 0, swap_ok);
+        if (!swap_ok) return Internal("jit image with bad swap width");
+        ++pc;
+        break;
+      }
+      default:
+        return Internal("jit image with unknown micro-op");
+    }
+  }
+}
+
+}  // namespace rdx::bpf

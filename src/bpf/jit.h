@@ -1,0 +1,93 @@
+// The JIT compiler and its output format, JitImage.
+//
+// Instead of emitting x86 bytes, the JIT lowers verified eBPF into
+// *threaded code*: fully pre-decoded micro-ops with absolute branch
+// targets and merged 64-bit immediates. This keeps the image portable
+// across simulated "architectures" while preserving everything §3.2–3.3
+// of the paper needs mechanically:
+//   - a relocation table: micro-ops whose imm64 is a placeholder that the
+//     RDX link stage patches with the target node's map addresses, and
+//     helper-call sites checked against the node's exported symbol table;
+//   - a serialized wire format (the binary that is RDMA-written);
+//   - a content checksum used by the control plane's compile cache
+//     ("validate and compile once, deploy anywhere").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bpf/exec.h"
+#include "bpf/program.h"
+
+namespace rdx::bpf {
+
+enum class OpKind : std::uint8_t {
+  kAlu64K, kAlu64X, kAlu32K, kAlu32X,  // aux = ALU operation
+  kJumpAbs,                            // target = absolute micro-pc
+  kCondJmpK, kCondJmpX,                // aux = condition; target = abs pc
+  kCall,                               // imm = helper id
+  kExit,
+  kLoad, kStoreImm, kStoreReg,         // aux = access bytes (1/2/4/8)
+  kLoadImm64,                          // imm64 = constant or patched addr
+  kCondJmp32K, kCondJmp32X,            // 32-bit compares; aux = condition
+  kEndian,                             // aux = width; src = to_be flag
+};
+
+struct MicroOp {
+  OpKind kind = OpKind::kExit;
+  std::uint8_t aux = 0;
+  std::uint8_t dst = 0;
+  std::uint8_t src = 0;
+  std::int32_t imm = 0;
+  std::uint32_t target = 0;
+  std::uint64_t imm64 = 0;
+};
+
+enum class RelocKind : std::uint8_t {
+  kMapAddress,  // imm64 of code[index] <- node-local address of map[symbol]
+  kHelperCall,  // code[index] calls helper `symbol`; must exist on target
+};
+
+struct Relocation {
+  RelocKind kind;
+  std::uint32_t index;   // micro-op index
+  std::int32_t symbol;   // map slot or helper id
+};
+
+// Placeholder the JIT writes into unlinked map-reference slots; deploying
+// an image that still contains it is a linker bug the sandbox will catch.
+constexpr std::uint64_t kUnlinkedPlaceholder = 0xdeadbeefdeadbeefULL;
+
+struct JitImage {
+  std::string program_name;
+  ProgramType type = ProgramType::kSocketFilter;
+  std::vector<MicroOp> code;
+  std::vector<Relocation> relocs;
+  std::vector<MapSpec> maps;
+
+  // True once every kMapAddress relocation has been patched.
+  bool IsLinked() const;
+
+  // Wire format (the bytes RDMA-deployed to a sandbox).
+  Bytes Serialize() const;
+  static StatusOr<JitImage> Deserialize(ByteSpan bytes);
+
+  // Content fingerprint over the *unlinked* semantic content (code with
+  // map placeholders + maps), so one compile is reusable across nodes.
+  std::uint64_t Fingerprint() const;
+};
+
+class JitCompiler {
+ public:
+  // Lowers a program. The program must already have passed verification;
+  // the compiler still rejects structurally invalid input defensively.
+  StatusOr<JitImage> Compile(const Program& prog) const;
+};
+
+// Executes a linked image. `opts.stack_addr` and map registration in `rt`
+// must match how the image was linked.
+StatusOr<ExecResult> RunJit(const JitImage& image, RuntimeContext& rt,
+                            const ExecOptions& opts);
+
+}  // namespace rdx::bpf

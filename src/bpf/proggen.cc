@@ -1,0 +1,174 @@
+#include "bpf/proggen.h"
+
+#include <algorithm>
+
+#include "bpf/exec.h"
+#include "common/rng.h"
+
+namespace rdx::bpf {
+
+namespace {
+
+// Register conventions inside generated programs:
+//   r6       callee-saved copy of the ctx pointer (r1 is clobbered by
+//            helper calls)
+//   r0,r7-r9 scalar working set
+constexpr int kCtxReg = 6;
+constexpr int kWork[] = {0, 7, 8, 9};
+
+// Emits an ALU instruction over the scalar working set. Always 1 insn.
+void EmitAlu(std::vector<Insn>& out, Rng& rng) {
+  static constexpr std::uint8_t kOps[] = {kAluAdd, kAluSub, kAluMul, kAluOr,
+                                          kAluAnd, kAluXor, kAluLsh,
+                                          kAluRsh};
+  const std::uint8_t op = kOps[rng.NextBounded(std::size(kOps))];
+  const int dst = kWork[rng.NextBounded(std::size(kWork))];
+  if (op == kAluLsh || op == kAluRsh) {
+    out.push_back(AluImm(op, dst, static_cast<std::int32_t>(
+                                      rng.NextBounded(31) + 1)));
+    return;
+  }
+  if (rng.NextBool(0.5)) {
+    const int src = kWork[rng.NextBounded(std::size(kWork))];
+    out.push_back(AluReg(op, dst, src));
+  } else {
+    out.push_back(AluImm(op, dst, static_cast<std::int32_t>(
+                                      rng.NextBounded(1 << 16) + 1)));
+  }
+}
+
+// Emits a ctx load into a working register: 1 insn.
+void EmitCtxLoad(std::vector<Insn>& out, Rng& rng, std::uint32_t ctx_size) {
+  const int dst = kWork[rng.NextBounded(std::size(kWork))];
+  const std::int16_t off =
+      static_cast<std::int16_t>(rng.NextBounded(ctx_size / 4 - 1) * 4);
+  out.push_back(LoadMem(kSizeW, dst, kCtxReg, off));
+}
+
+// Emits stack write + read of the same slot: 2 insns.
+void EmitStackTraffic(std::vector<Insn>& out, Rng& rng) {
+  const int reg = kWork[rng.NextBounded(std::size(kWork))];
+  const std::int16_t off = static_cast<std::int16_t>(
+      -8 * static_cast<std::int16_t>(rng.NextBounded(16) + 1));
+  out.push_back(StoreMemReg(kSizeDw, kFrameReg, reg, off));
+  out.push_back(LoadMem(kSizeDw, reg, kFrameReg, off));
+}
+
+// Emits a forward branch over `skip` filler ALU ops: 1 + skip insns.
+// Half the branches use the JMP32 class.
+void EmitBranch(std::vector<Insn>& out, Rng& rng, int skip) {
+  static constexpr std::uint8_t kConds[] = {kJmpJeq, kJmpJne, kJmpJgt,
+                                            kJmpJlt, kJmpJset};
+  const std::uint8_t cond = kConds[rng.NextBounded(std::size(kConds))];
+  const int reg = kWork[rng.NextBounded(std::size(kWork))];
+  const std::int32_t imm =
+      static_cast<std::int32_t>(rng.NextBounded(1 << 12));
+  out.push_back(rng.NextBool(0.5)
+                    ? JmpImm(cond, reg, imm, static_cast<std::int16_t>(skip))
+                    : Jmp32Imm(cond, reg, imm,
+                               static_cast<std::int16_t>(skip)));
+  for (int i = 0; i < skip; ++i) EmitAlu(out, rng);
+}
+
+// Emits a byte swap on a working register: 1 insn.
+void EmitEndian(std::vector<Insn>& out, Rng& rng) {
+  static constexpr int kWidths[] = {16, 32, 64};
+  const int reg = kWork[rng.NextBounded(std::size(kWork))];
+  out.push_back(Endian(reg, kWidths[rng.NextBounded(3)],
+                       rng.NextBool(0.5)));
+}
+
+// Emits a map lookup with a null check and a read through the value
+// pointer: 8 insns. Map 0 is array<u32, u64>.
+void EmitMapLookup(std::vector<Insn>& out, Rng& rng,
+                   std::uint32_t max_entries) {
+  out.push_back(StoreMemImm(
+      kSizeW, kFrameReg, -4,
+      static_cast<std::int32_t>(rng.NextBounded(max_entries))));
+  out.push_back(MovReg(2, kFrameReg));
+  out.push_back(AluImm(kAluAdd, 2, -4));
+  auto [lo, hi] = LoadMapFd(1, 0);
+  out.push_back(lo);
+  out.push_back(hi);
+  out.push_back(Call(kHelperMapLookupElem));
+  out.push_back(JmpImm(kJmpJeq, 0, 0, 1));  // if r0 == 0 skip the deref
+  out.push_back(LoadMem(kSizeDw, 0, 0, 0));
+}
+
+// Emits a map update from the stack: 11 insns.
+void EmitMapUpdate(std::vector<Insn>& out, Rng& rng,
+                   std::uint32_t max_entries) {
+  out.push_back(StoreMemImm(
+      kSizeW, kFrameReg, -4,
+      static_cast<std::int32_t>(rng.NextBounded(max_entries))));
+  out.push_back(StoreMemReg(kSizeDw, kFrameReg, 7, -16));
+  auto [lo, hi] = LoadMapFd(1, 0);
+  out.push_back(lo);
+  out.push_back(hi);
+  out.push_back(MovReg(2, kFrameReg));
+  out.push_back(AluImm(kAluAdd, 2, -4));
+  out.push_back(MovReg(3, kFrameReg));
+  out.push_back(AluImm(kAluAdd, 3, -16));
+  out.push_back(MovImm(4, 0));
+  out.push_back(Call(kHelperMapUpdateElem));
+  // Fold the helper's status into the running checksum in r7.
+  out.push_back(AluReg(kAluXor, 7, 0));
+}
+
+}  // namespace
+
+Program GenerateProgram(const ProgGenOptions& options) {
+  Rng rng(options.seed);
+  Program prog;
+  prog.name = "stress_" + std::to_string(options.target_insns) + "_s" +
+              std::to_string(options.seed);
+  prog.type = ProgramType::kSocketFilter;
+  constexpr std::uint32_t kMaxEntries = 64;
+  if (options.use_maps) {
+    prog.maps.push_back(MapSpec{"gen_map", MapType::kArray, 4, 8,
+                                kMaxEntries});
+  }
+
+  std::vector<Insn>& out = prog.insns;
+  const std::size_t target = std::max<std::size_t>(options.target_insns, 16);
+
+  // Prologue: save ctx, initialize the scalar working set. 6 insns.
+  out.push_back(MovReg(kCtxReg, 1));
+  out.push_back(MovImm(0, 0));
+  out.push_back(MovImm(7, 1));
+  out.push_back(MovImm(8, 2));
+  out.push_back(MovImm(9, 3));
+  out.push_back(LoadMem(kSizeW, 7, kCtxReg, 0));  // seed r7 from the packet
+
+  // Body blocks until only the epilogue budget remains.
+  constexpr std::size_t kEpilogue = 3;  // and r0 mask + exit
+  while (out.size() + 12 + kEpilogue < target) {
+    const double roll = rng.NextDouble();
+    if (options.use_maps && roll < options.helper_density / 2) {
+      EmitMapLookup(out, rng, kMaxEntries);
+    } else if (options.use_maps && roll < options.helper_density) {
+      EmitMapUpdate(out, rng, kMaxEntries);
+    } else if (roll < options.helper_density + options.branch_density) {
+      EmitBranch(out, rng, static_cast<int>(rng.NextBounded(4)) + 1);
+    } else if (roll < options.helper_density + options.branch_density + 0.1) {
+      EmitCtxLoad(out, rng, 256);
+    } else if (roll < options.helper_density + options.branch_density + 0.2) {
+      EmitStackTraffic(out, rng);
+    } else if (roll < options.helper_density + options.branch_density + 0.25) {
+      EmitEndian(out, rng);
+    } else {
+      EmitAlu(out, rng);
+    }
+  }
+  // Pad to exactly target - epilogue.
+  while (out.size() < target - kEpilogue) {
+    out.push_back(AluImm(kAluAdd, 0, 1));
+  }
+  // Epilogue: fold the working set into r0 and return 0/1 (accept bit).
+  out.push_back(AluReg(kAluXor, 0, 7));
+  out.push_back(AluImm(kAluAnd, 0, 1));
+  out.push_back(Exit());
+  return prog;
+}
+
+}  // namespace rdx::bpf

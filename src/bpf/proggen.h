@@ -1,0 +1,34 @@
+// Synthetic eBPF workload generator — the stand-in for the "synthetic
+// Socket Filter eBPF programs from the official Linux eBPF stress test"
+// the paper deploys in §6 (instruction sizes 1.3K–95K). Generated
+// programs are deterministic in the seed, always verifier-clean, and mix
+// ALU work, forward branches, ctx loads, stack traffic, and map
+// lookup/update sequences in realistic proportions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bpf/program.h"
+
+namespace rdx::bpf {
+
+struct ProgGenOptions {
+  std::size_t target_insns = 1300;
+  std::uint64_t seed = 1;
+  bool use_maps = true;
+  // Fraction of blocks that are forward branches / helper sequences.
+  double branch_density = 0.15;
+  double helper_density = 0.05;
+};
+
+// Generates a socket-filter program of exactly `target_insns`
+// instructions (including the final exit).
+Program GenerateProgram(const ProgGenOptions& options);
+
+// The paper's Fig 2a / 4a sweep sizes (approximate instruction counts of
+// the kernel selftest stress programs).
+inline constexpr std::size_t kPaperSweepSizes[] = {1'300, 11'000, 26'000,
+                                                   49'000, 76'000, 95'000};
+
+}  // namespace rdx::bpf

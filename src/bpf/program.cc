@@ -1,0 +1,23 @@
+#include "bpf/program.h"
+
+namespace rdx::bpf {
+
+const char* ProgramTypeName(ProgramType type) {
+  switch (type) {
+    case ProgramType::kSocketFilter: return "socket_filter";
+    case ProgramType::kXdp: return "xdp";
+    case ProgramType::kTracepoint: return "tracepoint";
+  }
+  return "unknown";
+}
+
+const char* MapTypeName(MapType type) {
+  switch (type) {
+    case MapType::kArray: return "array";
+    case MapType::kHash: return "hash";
+    case MapType::kRingBuf: return "ringbuf";
+  }
+  return "unknown";
+}
+
+}  // namespace rdx::bpf

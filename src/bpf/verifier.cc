@@ -1,0 +1,456 @@
+#include "bpf/verifier.h"
+
+#include <bitset>
+#include <cstdio>
+#include <vector>
+
+#include "bpf/exec.h"
+
+namespace rdx::bpf {
+
+namespace {
+
+enum class RegKind : std::uint8_t {
+  kUninit,
+  kScalar,
+  kPtrCtx,
+  kPtrStack,
+  kPtrMap,             // handle loaded by LD_IMM64 pseudo-map
+  kPtrMapValue,        // non-null pointer into a map value
+  kPtrMapValueOrNull,  // result of map_lookup before the null check
+};
+
+struct RegState {
+  RegKind kind = RegKind::kUninit;
+  std::int32_t map_slot = -1;  // for the kPtrMap* kinds
+  std::int64_t off = 0;        // byte offset from the region base
+
+  bool operator==(const RegState&) const = default;
+};
+
+struct AbstractState {
+  RegState regs[kNumRegs];
+  std::bitset<kStackSize> stack_init;  // byte-granular init tracking
+
+  bool operator==(const AbstractState&) const = default;
+};
+
+bool IsPointer(RegKind kind) {
+  return kind != RegKind::kUninit && kind != RegKind::kScalar;
+}
+
+Status Err(std::size_t pc, const Insn& insn, const char* rule) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "insn %zu (%s): %s", pc,
+                Disassemble(insn).c_str(), rule);
+  return InvalidArgument(buf);
+}
+
+}  // namespace
+
+Status Verifier::Verify(const Program& prog, VerifierStats* stats) const {
+  VerifierStats local_stats;
+  VerifierStats& st = stats != nullptr ? *stats : local_stats;
+  st = VerifierStats{};
+
+  const std::vector<Insn>& insns = prog.insns;
+  const std::size_t n = insns.size();
+  if (n == 0) return InvalidArgument("empty program");
+
+  // ---- Structural pass -------------------------------------------------
+  // First sub-pass: mark second slots of LD_IMM64, so the jump checks in
+  // the second sub-pass can reject targets landing inside one regardless
+  // of instruction order.
+  std::vector<bool> is_imm64_cont(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_imm64_cont[i]) continue;
+    if (insns[i].cls() == kClassLd) {
+      if (!insns[i].IsLdImm64()) {
+        return Err(i, insns[i], "unsupported LD mode");
+      }
+      if (i + 1 >= n) return Err(i, insns[i], "truncated LD_IMM64");
+      is_imm64_cont[i + 1] = true;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Insn& insn = insns[i];
+    if (is_imm64_cont[i]) continue;
+    if (insn.cls() == kClassLd) {
+      if (insn.src_reg == kPseudoMapFd &&
+          (insn.imm < 0 ||
+           static_cast<std::size_t>(insn.imm) >= prog.maps.size())) {
+        return Err(i, insn, "map slot out of range");
+      }
+      continue;
+    }
+    if (insn.IsAlu()) {
+      const std::uint8_t op = insn.AluOp();
+      const bool valid =
+          op == kAluAdd || op == kAluSub || op == kAluMul || op == kAluDiv ||
+          op == kAluOr || op == kAluAnd || op == kAluLsh || op == kAluRsh ||
+          op == kAluNeg || op == kAluMod || op == kAluXor || op == kAluMov ||
+          op == kAluArsh || op == kAluEnd;
+      if (!valid) return Err(i, insn, "invalid ALU operation");
+      if (op == kAluEnd) {
+        if (insn.cls() != kClassAlu) {
+          return Err(i, insn, "BPF_END must use the 32-bit ALU class");
+        }
+        if (insn.imm != 16 && insn.imm != 32 && insn.imm != 64) {
+          return Err(i, insn, "byte-swap width must be 16/32/64");
+        }
+      }
+      if (!insn.UsesRegSrc() && (op == kAluDiv || op == kAluMod) &&
+          insn.imm == 0) {
+        return Err(i, insn, "division by constant zero");
+      }
+      const std::int32_t width = insn.cls() == kClassAlu64 ? 64 : 32;
+      if (!insn.UsesRegSrc() &&
+          (op == kAluLsh || op == kAluRsh || op == kAluArsh) &&
+          (insn.imm < 0 || insn.imm >= width)) {
+        return Err(i, insn, "shift amount out of range");
+      }
+    } else if (insn.IsJmp()) {
+      const std::uint8_t op = insn.JmpOp();
+      const bool conditional =
+          op == kJmpJeq || op == kJmpJgt || op == kJmpJge ||
+          op == kJmpJset || op == kJmpJne || op == kJmpJsgt ||
+          op == kJmpJsge || op == kJmpJlt || op == kJmpJle ||
+          op == kJmpJslt || op == kJmpJsle;
+      const bool valid =
+          insn.cls() == kClassJmp32
+              ? conditional  // JMP32 has no JA/CALL/EXIT
+              : (conditional || op == kJmpJa || op == kJmpCall ||
+                 op == kJmpExit);
+      if (!valid) return Err(i, insn, "invalid JMP operation");
+      if (op != kJmpCall && op != kJmpExit) {
+        const std::int64_t target =
+            static_cast<std::int64_t>(i) + 1 + insn.off;
+        if (target < 0 || target >= static_cast<std::int64_t>(n)) {
+          return Err(i, insn, "jump out of program bounds");
+        }
+        if (is_imm64_cont[static_cast<std::size_t>(target)]) {
+          return Err(i, insn, "jump into the middle of LD_IMM64");
+        }
+        if (!config_.allow_back_edges &&
+            target <= static_cast<std::int64_t>(i)) {
+          return Err(i, insn, "back edge (potential loop)");
+        }
+      }
+      if (op == kJmpCall && FindHelper(insn.imm) == nullptr) {
+        return Err(i, insn, "call to unknown helper");
+      }
+    } else if (insn.cls() == kClassLdx || insn.cls() == kClassSt ||
+               insn.cls() == kClassStx) {
+      if (insn.MemMode() != kModeMem) {
+        return Err(i, insn, "unsupported memory mode");
+      }
+    } else {
+      return Err(i, insn, "unknown instruction class");
+    }
+    // Writes to r10 are rejected uniformly below; reads of r10 are fine.
+    if ((insn.IsAlu() || insn.cls() == kClassLdx ||
+         insn.cls() == kClassLd) &&
+        insn.dst_reg == kFrameReg) {
+      return Err(i, insn, "write to frame pointer r10");
+    }
+  }
+
+  // ---- Abstract interpretation -----------------------------------------
+  AbstractState entry;
+  entry.regs[1] = {RegKind::kPtrCtx, -1, 0};
+  entry.regs[kFrameReg] = {RegKind::kPtrStack, -1, 0};
+
+  struct WorkItem {
+    std::size_t pc;
+    AbstractState state;
+  };
+  std::vector<WorkItem> work;
+  std::vector<std::vector<AbstractState>> seen(n);
+  work.push_back({0, entry});
+
+  // Remembers a state; returns false if an equal state was already there.
+  auto remember = [&](std::size_t pc, const AbstractState& s) -> bool {
+    for (const AbstractState& old : seen[pc]) {
+      if (old == s) return false;
+    }
+    if (seen[pc].size() >= config_.max_states_per_insn) {
+      // Per-insn state budget exhausted: treat as already-seen to force
+      // convergence; soundness is kept because exploration stops, and the
+      // kernel similarly prunes with its own state-equivalence logic.
+      return false;
+    }
+    seen[pc].push_back(s);
+    ++st.states_stored;
+    return true;
+  };
+  remember(0, entry);
+
+  // Validates a memory access through `reg` at displacement `off` of
+  // `size` bytes. Returns nullptr-rule on success.
+  auto check_access = [&](const AbstractState& s, const RegState& reg,
+                          std::int64_t disp, int size,
+                          bool write) -> const char* {
+    const std::int64_t start = reg.off + disp;
+    switch (reg.kind) {
+      case RegKind::kPtrCtx:
+        if (write) return "write to read-only ctx";
+        if (start < 0 || start + size > config_.ctx_size) {
+          return "ctx access out of bounds";
+        }
+        return nullptr;
+      case RegKind::kPtrStack: {
+        if (start < -kStackSize || start + size > 0) {
+          return "stack access out of bounds";
+        }
+        if (!write) {
+          for (int b = 0; b < size; ++b) {
+            if (!s.stack_init[static_cast<std::size_t>(kStackSize + start +
+                                                       b)]) {
+              return "read of uninitialized stack";
+            }
+          }
+        }
+        return nullptr;
+      }
+      case RegKind::kPtrMapValue: {
+        if (reg.map_slot < 0 ||
+            static_cast<std::size_t>(reg.map_slot) >= prog.maps.size()) {
+          return "map value pointer with bad slot";
+        }
+        const std::int64_t value_size = prog.maps[reg.map_slot].value_size;
+        if (start < 0 || start + size > value_size) {
+          return "map value access out of bounds";
+        }
+        return nullptr;
+      }
+      case RegKind::kPtrMapValueOrNull:
+        return "dereference of possibly-null map value (missing null check)";
+      case RegKind::kPtrMap:
+        return "direct access through map handle";
+      case RegKind::kScalar:
+      case RegKind::kUninit:
+        return "memory access through non-pointer";
+    }
+    return "corrupt register state";
+  };
+
+  while (!work.empty()) {
+    WorkItem item = std::move(work.back());
+    work.pop_back();
+    std::size_t pc = item.pc;
+    AbstractState s = std::move(item.state);
+
+    // Follow straight-line code without re-queuing.
+    while (true) {
+      if (++st.insns_processed > config_.max_visited) {
+        return ResourceExhausted("program too complex to verify");
+      }
+      if (pc >= n) {
+        return InvalidArgument("control flow falls off the program end");
+      }
+      const Insn& insn = insns[pc];
+
+      if (insn.IsAlu()) {
+        const std::uint8_t op = insn.AluOp();
+        RegState& dst = s.regs[insn.dst_reg];
+        const bool imm_src = !insn.UsesRegSrc();
+        const RegState src = insn.UsesRegSrc() ? s.regs[insn.src_reg]
+                                               : RegState{RegKind::kScalar};
+        if (op != kAluMov && dst.kind == RegKind::kUninit) {
+          return Err(pc, insn, "read of uninitialized register");
+        }
+        if (op == kAluEnd) {
+          // The source bit of BPF_END selects LE/BE, not a register.
+          if (IsPointer(dst.kind)) {
+            return Err(pc, insn, "byte-swap on pointer value");
+          }
+          dst = RegState{RegKind::kScalar};
+          ++pc;
+          continue;
+        }
+        if (insn.UsesRegSrc() && src.kind == RegKind::kUninit) {
+          return Err(pc, insn, "read of uninitialized source register");
+        }
+        if (op == kAluMov) {
+          dst = insn.UsesRegSrc() ? src : RegState{RegKind::kScalar};
+          if (insn.cls() == kClassAlu && IsPointer(dst.kind)) {
+            return Err(pc, insn, "32-bit move truncates pointer");
+          }
+        } else if (IsPointer(dst.kind)) {
+          // Pointer arithmetic: only +/- constant immediates, 64-bit.
+          if (dst.kind == RegKind::kPtrMap ||
+              dst.kind == RegKind::kPtrMapValueOrNull) {
+            return Err(pc, insn, "arithmetic on unusable pointer");
+          }
+          if (insn.cls() != kClassAlu64) {
+            return Err(pc, insn, "32-bit arithmetic on pointer");
+          }
+          if (!(op == kAluAdd || op == kAluSub) || !imm_src) {
+            return Err(pc, insn,
+                       "pointer arithmetic must be +/- constant");
+          }
+          dst.off += op == kAluAdd ? insn.imm : -insn.imm;
+        } else {
+          if (insn.UsesRegSrc() && IsPointer(src.kind)) {
+            // scalar = scalar op pointer would leak a pointer value.
+            return Err(pc, insn, "pointer used as scalar operand");
+          }
+          dst = RegState{RegKind::kScalar};
+        }
+        ++pc;
+        continue;
+      }
+
+      if (insn.cls() == kClassLdx) {
+        const RegState& base = s.regs[insn.src_reg];
+        if (const char* rule =
+                check_access(s, base, insn.off, insn.AccessBytes(), false)) {
+          return Err(pc, insn, rule);
+        }
+        s.regs[insn.dst_reg] = RegState{RegKind::kScalar};
+        ++pc;
+        continue;
+      }
+
+      if (insn.cls() == kClassSt || insn.cls() == kClassStx) {
+        const RegState& base = s.regs[insn.dst_reg];
+        if (insn.cls() == kClassStx) {
+          const RegState& value = s.regs[insn.src_reg];
+          if (value.kind == RegKind::kUninit) {
+            return Err(pc, insn, "store of uninitialized register");
+          }
+          if (IsPointer(value.kind)) {
+            return Err(pc, insn, "pointer spilling is not supported");
+          }
+        }
+        if (const char* rule =
+                check_access(s, base, insn.off, insn.AccessBytes(), true)) {
+          return Err(pc, insn, rule);
+        }
+        if (base.kind == RegKind::kPtrStack) {
+          const std::int64_t start = base.off + insn.off;
+          for (int b = 0; b < insn.AccessBytes(); ++b) {
+            s.stack_init.set(static_cast<std::size_t>(kStackSize + start + b));
+          }
+        }
+        ++pc;
+        continue;
+      }
+
+      if (insn.cls() == kClassLd) {  // LD_IMM64 (structurally validated)
+        if (insn.src_reg == kPseudoMapFd) {
+          s.regs[insn.dst_reg] = RegState{RegKind::kPtrMap, insn.imm, 0};
+        } else {
+          s.regs[insn.dst_reg] = RegState{RegKind::kScalar};
+        }
+        pc += 2;
+        continue;
+      }
+
+      // JMP class.
+      const std::uint8_t op = insn.JmpOp();
+      if (op == kJmpExit) {
+        if (s.regs[0].kind != RegKind::kScalar) {
+          return Err(pc, insn, "exit with non-scalar or uninitialized r0");
+        }
+        break;  // path done
+      }
+      if (op == kJmpCall) {
+        const HelperSpec* helper = FindHelper(insn.imm);
+        std::int32_t map_slot = -1;
+        if (helper->arg1_is_map) {
+          if (s.regs[1].kind != RegKind::kPtrMap) {
+            return Err(pc, insn, "helper r1 must be a map handle");
+          }
+          map_slot = s.regs[1].map_slot;
+        }
+        auto check_mem_arg = [&](int reg, std::uint64_t need) -> const char* {
+          const RegState& r = s.regs[reg];
+          if (r.kind != RegKind::kPtrStack &&
+              r.kind != RegKind::kPtrMapValue) {
+            return "helper memory argument must point to stack or map value";
+          }
+          return check_access(s, r, 0, static_cast<int>(need), false);
+        };
+        if (helper->arg2_is_mem) {
+          std::uint64_t need = 1;
+          if (map_slot >= 0) need = prog.maps[map_slot].key_size;
+          if (insn.imm == kHelperRingbufOutput) need = 1;  // dynamic length
+          if (const char* rule = check_mem_arg(2, need)) {
+            return Err(pc, insn, rule);
+          }
+        }
+        if (helper->arg3_is_mem) {
+          std::uint64_t need = 1;
+          if (map_slot >= 0) need = prog.maps[map_slot].value_size;
+          if (const char* rule = check_mem_arg(3, need)) {
+            return Err(pc, insn, rule);
+          }
+        }
+        s.regs[0] = helper->returns_map_value_or_null
+                        ? RegState{RegKind::kPtrMapValueOrNull, map_slot, 0}
+                        : RegState{RegKind::kScalar};
+        for (int r = 1; r <= 5; ++r) s.regs[r] = RegState{};
+        ++pc;
+        continue;
+      }
+      if (op == kJmpJa) {
+        pc = static_cast<std::size_t>(static_cast<std::int64_t>(pc) + 1 +
+                                      insn.off);
+        if (!remember(pc, s)) break;
+        continue;
+      }
+
+      // Conditional branch.
+      const RegState& dst = s.regs[insn.dst_reg];
+      if (dst.kind == RegKind::kUninit) {
+        return Err(pc, insn, "branch on uninitialized register");
+      }
+      if (insn.UsesRegSrc() &&
+          s.regs[insn.src_reg].kind == RegKind::kUninit) {
+        return Err(pc, insn, "branch on uninitialized source register");
+      }
+      // Comparing a pointer with anything but the null-check pattern is
+      // rejected (prevents pointer leaks via branches).
+      const bool null_check =
+          insn.cls() == kClassJmp &&
+          dst.kind == RegKind::kPtrMapValueOrNull && !insn.UsesRegSrc() &&
+          insn.imm == 0 && (op == kJmpJeq || op == kJmpJne);
+      if (IsPointer(dst.kind) && !null_check) {
+        return Err(pc, insn, "comparison on pointer value");
+      }
+      if (insn.UsesRegSrc() && IsPointer(s.regs[insn.src_reg].kind)) {
+        return Err(pc, insn, "comparison with pointer value");
+      }
+
+      const std::size_t taken_pc = static_cast<std::size_t>(
+          static_cast<std::int64_t>(pc) + 1 + insn.off);
+      AbstractState taken = s;
+      AbstractState fall = s;
+      if (null_check) {
+        // JEQ r,0: taken => null; JNE r,0: taken => non-null.
+        RegState null_state{RegKind::kScalar};
+        RegState good_state{RegKind::kPtrMapValue, dst.map_slot, dst.off};
+        if (op == kJmpJeq) {
+          taken.regs[insn.dst_reg] = null_state;
+          fall.regs[insn.dst_reg] = good_state;
+        } else {
+          taken.regs[insn.dst_reg] = good_state;
+          fall.regs[insn.dst_reg] = null_state;
+        }
+      }
+      ++st.branches;
+      if (remember(taken_pc, taken)) {
+        work.push_back({taken_pc, std::move(taken)});
+      }
+      if (!remember(pc + 1, fall)) break;
+      s = std::move(fall);
+      pc = pc + 1;
+      continue;
+    }
+  }
+
+  return OkStatus();
+}
+
+}  // namespace rdx::bpf

@@ -1,0 +1,54 @@
+// Static verifier: an abstract interpreter over the eBPF subset, in the
+// spirit of the kernel's. It proves, before any instruction runs, that a
+// program (1) terminates (no back edges unless explicitly allowed),
+// (2) never reads uninitialized registers or stack bytes, (3) only
+// dereferences pointers it legitimately holds (ctx, stack, map values)
+// and always within bounds, (4) null-checks map lookups before use, and
+// (5) calls only known helpers with correctly-typed arguments.
+//
+// Simplifications vs. the kernel (documented in DESIGN.md): pointer
+// arithmetic only with compile-time constants, no pointer spilling to the
+// stack, no bounded-loop induction — the paper's socket-filter workloads
+// need none of these.
+#pragma once
+
+#include <cstdint>
+
+#include "bpf/program.h"
+#include "common/status.h"
+
+namespace rdx::bpf {
+
+struct VerifierConfig {
+  // Reject any jump whose target does not strictly advance (classic,
+  // pre-5.3 kernel behaviour). When true, termination is enforced at
+  // runtime by the instruction limit instead.
+  bool allow_back_edges = false;
+  // Abort with "too complex" beyond this many explored (state, insn)
+  // pairs — the same backstop as the kernel's 1M-insn budget.
+  std::uint64_t max_visited = 1u << 20;
+  // Bound on distinct abstract states remembered per instruction.
+  std::uint32_t max_states_per_insn = 64;
+  // Size of the (read-only) context record, bytes.
+  std::uint32_t ctx_size = 256;
+};
+
+struct VerifierStats {
+  std::uint64_t insns_processed = 0;  // (state, insn) visits
+  std::uint64_t states_stored = 0;    // distinct states remembered
+  std::uint64_t branches = 0;         // branch states pushed
+};
+
+class Verifier {
+ public:
+  explicit Verifier(VerifierConfig config = {}) : config_(config) {}
+
+  // Returns OK iff the program is safe to load. On rejection the status
+  // message pinpoints the instruction and the rule violated.
+  Status Verify(const Program& prog, VerifierStats* stats = nullptr) const;
+
+ private:
+  VerifierConfig config_;
+};
+
+}  // namespace rdx::bpf

@@ -1,0 +1,36 @@
+// Minimal leveled logger. Off by default so benchmark output stays clean;
+// tests and examples can raise the level. Not thread-safe by design — the
+// simulation is single-threaded (see DESIGN.md, "virtual time").
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace rdx {
+
+enum class LogLevel : int { kNone = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
+
+// Global log threshold. Messages at a level above the threshold are
+// discarded before formatting.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& msg);
+std::string FormatLog(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace internal
+
+#define RDX_LOG(level, ...)                                             \
+  do {                                                                  \
+    if (static_cast<int>(level) <= static_cast<int>(::rdx::GetLogLevel())) \
+      ::rdx::internal::LogMessage(level, __FILE__, __LINE__,            \
+                                  ::rdx::internal::FormatLog(__VA_ARGS__)); \
+  } while (0)
+
+#define RDX_ERROR(...) RDX_LOG(::rdx::LogLevel::kError, __VA_ARGS__)
+#define RDX_WARN(...) RDX_LOG(::rdx::LogLevel::kWarn, __VA_ARGS__)
+#define RDX_INFO(...) RDX_LOG(::rdx::LogLevel::kInfo, __VA_ARGS__)
+#define RDX_DEBUG(...) RDX_LOG(::rdx::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace rdx

@@ -1,0 +1,84 @@
+// Deterministic pseudo-random number generation. Every stochastic element
+// of the simulation (workload arrivals, cache accesses, key popularity)
+// draws from an explicitly-seeded Rng so that experiments reproduce
+// bit-for-bit across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace rdx {
+
+// splitmix64 + xoshiro256** — small, fast, and well understood. Not for
+// cryptographic use.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 seeding to decorrelate nearby seeds.
+    std::uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t t = z;
+      t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      t = (t ^ (t >> 27)) * 0x94d049bb133111ebULL;
+      s = t ^ (t >> 31);
+    }
+  }
+
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection-free approximation is fine here;
+    // bias is negligible for simulation bounds << 2^64.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(NextU64()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Exponentially distributed value with the given mean (for Poisson
+  // arrival processes in the open-loop workload generators).
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  // Zipf-like popularity rank in [0, n) with skew s (s=0 is uniform).
+  // Uses the inverse-CDF approximation, adequate for workload skew.
+  std::uint64_t NextZipf(std::uint64_t n, double s) {
+    if (s <= 0.0 || n <= 1) return NextBounded(n);
+    const double u = NextDouble();
+    const double exp = 1.0 - s;
+    // Inverse of the continuous Zipf CDF on [1, n].
+    const double x =
+        std::pow(u * (std::pow(static_cast<double>(n), exp) - 1.0) + 1.0,
+                 1.0 / exp);
+    std::uint64_t r = static_cast<std::uint64_t>(x) - 1;
+    return r >= n ? n - 1 : r;
+  }
+
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace rdx

@@ -1,0 +1,69 @@
+#include "common/status.h"
+
+namespace rdx {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case StatusCode::kAborted: return "ABORTED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace {
+Status Make(StatusCode code, std::string_view msg) {
+  return Status(code, std::string(msg));
+}
+}  // namespace
+
+Status InvalidArgument(std::string_view msg) {
+  return Make(StatusCode::kInvalidArgument, msg);
+}
+Status NotFound(std::string_view msg) {
+  return Make(StatusCode::kNotFound, msg);
+}
+Status AlreadyExists(std::string_view msg) {
+  return Make(StatusCode::kAlreadyExists, msg);
+}
+Status FailedPrecondition(std::string_view msg) {
+  return Make(StatusCode::kFailedPrecondition, msg);
+}
+Status OutOfRange(std::string_view msg) {
+  return Make(StatusCode::kOutOfRange, msg);
+}
+Status ResourceExhausted(std::string_view msg) {
+  return Make(StatusCode::kResourceExhausted, msg);
+}
+Status Unavailable(std::string_view msg) {
+  return Make(StatusCode::kUnavailable, msg);
+}
+Status PermissionDenied(std::string_view msg) {
+  return Make(StatusCode::kPermissionDenied, msg);
+}
+Status Aborted(std::string_view msg) { return Make(StatusCode::kAborted, msg); }
+Status Internal(std::string_view msg) {
+  return Make(StatusCode::kInternal, msg);
+}
+Status Unimplemented(std::string_view msg) {
+  return Make(StatusCode::kUnimplemented, msg);
+}
+
+}  // namespace rdx

@@ -1,0 +1,128 @@
+// Lightweight Status / StatusOr error-handling vocabulary for the RDX
+// codebase. Modeled after absl::Status but self-contained: every fallible
+// operation in the library returns Status or StatusOr<T> instead of
+// throwing, so that simulated data-plane paths stay allocation- and
+// exception-free.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace rdx {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kResourceExhausted,
+  kUnavailable,
+  kPermissionDenied,
+  kAborted,
+  kInternal,
+  kUnimplemented,
+};
+
+// Human-readable name of a status code (e.g. "INVALID_ARGUMENT").
+std::string_view StatusCodeName(StatusCode code);
+
+// Value-semantic error descriptor. The OK status carries no message and
+// never allocates.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "CODE: message" rendering for logs and test failures.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+Status InvalidArgument(std::string_view msg);
+Status NotFound(std::string_view msg);
+Status AlreadyExists(std::string_view msg);
+Status FailedPrecondition(std::string_view msg);
+Status OutOfRange(std::string_view msg);
+Status ResourceExhausted(std::string_view msg);
+Status Unavailable(std::string_view msg);
+Status PermissionDenied(std::string_view msg);
+Status Aborted(std::string_view msg);
+Status Internal(std::string_view msg);
+Status Unimplemented(std::string_view msg);
+
+// Either a T or a non-OK Status. Accessing the value of an errored
+// StatusOr is a programming error (asserts in debug builds).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "OK StatusOr must carry a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Early-return helpers in the style of absl. `RDX_RETURN_IF_ERROR(expr)`
+// propagates a non-OK Status; `RDX_ASSIGN_OR_RETURN(lhs, expr)` unwraps a
+// StatusOr or propagates its status.
+#define RDX_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::rdx::Status rdx_status_tmp_ = (expr);      \
+    if (!rdx_status_tmp_.ok()) return rdx_status_tmp_; \
+  } while (0)
+
+#define RDX_CONCAT_INNER_(a, b) a##b
+#define RDX_CONCAT_(a, b) RDX_CONCAT_INNER_(a, b)
+
+#define RDX_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  auto RDX_CONCAT_(rdx_statusor_, __LINE__) = (expr);                    \
+  if (!RDX_CONCAT_(rdx_statusor_, __LINE__).ok())                        \
+    return RDX_CONCAT_(rdx_statusor_, __LINE__).status();                \
+  lhs = std::move(RDX_CONCAT_(rdx_statusor_, __LINE__)).value()
+
+}  // namespace rdx

@@ -1,0 +1,261 @@
+#include "core/broadcast.h"
+
+namespace rdx::core {
+
+namespace {
+
+// Fan-out helper: runs `launch(i, done_i)` for each index and calls
+// `done` once all have reported, with the first error winning.
+void ForAll(std::size_t n,
+            const std::function<void(std::size_t,
+                                     std::function<void(Status)>)>& launch,
+            std::function<void(Status)> done) {
+  if (n == 0) {
+    done(OkStatus());
+    return;
+  }
+  struct State {
+    std::size_t remaining;
+    Status first_error;
+    std::function<void(Status)> done;
+  };
+  auto state = std::make_shared<State>();
+  state->remaining = n;
+  state->done = std::move(done);
+  for (std::size_t i = 0; i < n; ++i) {
+    launch(i, [state](Status s) {
+      if (!s.ok() && state->first_error.ok()) state->first_error = s;
+      if (--state->remaining == 0) state->done(state->first_error);
+    });
+  }
+}
+
+}  // namespace
+
+void CollectiveCodeFlow::Broadcast(
+    const bpf::Program& prog, int hook, UpdateBarrier* barrier,
+    std::function<void(StatusOr<BroadcastResult>)> done) {
+  const sim::SimTime t0 = cp_.events().Now();
+  if (barrier != nullptr) barrier->BeginBuffering();
+  // Own a copy: the caller's program need not outlive the async phases.
+  auto prog_copy = std::make_shared<bpf::Program>(prog);
+
+  // Validate + compile once (the compile cache makes this amortized),
+  // then per-node: deploy XStates, link, prepare.
+  cp_.ValidateCode(*prog_copy, [this, prog_copy, hook, barrier, t0,
+                          done = std::move(done)](Status s) mutable {
+    if (!s.ok()) {
+      done(s);
+      return;
+    }
+    cp_.JitCompileCode(*prog_copy, [this, prog_copy, hook, barrier, t0,
+                              done = std::move(done)](
+                                 StatusOr<const bpf::JitImage*> img) mutable {
+      if (!img.ok()) {
+        done(img.status());
+        return;
+      }
+      auto prepared =
+          std::make_shared<std::vector<ControlPlane::PreparedImage>>(
+              group_.size());
+      const bpf::JitImage* image = img.value();
+      ForAll(
+          group_.size(),
+          [this, image, prog_copy, prepared, hook](
+              std::size_t i, std::function<void(Status)> done_i) {
+            const bpf::Program& prog = *prog_copy;
+            CodeFlow& flow = *group_[i];
+            // Deploy missing XStates on this node, then link + prepare.
+            auto deploy_next =
+                std::make_shared<std::function<void(std::size_t)>>();
+            *deploy_next = [this, &flow, image, &prog, prog_copy, prepared,
+                            i, hook, done_i,
+                            deploy_next](std::size_t m) mutable {
+              while (m < prog.maps.size() &&
+                     flow.xstates().count(prog.maps[m].name) != 0) {
+                ++m;
+              }
+              if (m < prog.maps.size()) {
+                cp_.DeployXState(flow, prog.maps[m],
+                                 [deploy_next, m, done_i](
+                                     StatusOr<std::uint64_t> addr) {
+                                   if (!addr.ok()) {
+                                     done_i(addr.status());
+                                     return;
+                                   }
+                                   (*deploy_next)(m + 1);
+                                 });
+                return;
+              }
+              cp_.LinkCode(flow, *image,
+                           [this, &flow, prepared, i, hook, done_i](
+                               StatusOr<bpf::JitImage> linked) {
+                             if (!linked.ok()) {
+                               done_i(linked.status());
+                               return;
+                             }
+                             cp_.PrepareImage(
+                                 flow, linked->Serialize(),
+                                 flow.HookVersion(hook) + 1,
+                                 [prepared, i, done_i](
+                                     StatusOr<ControlPlane::PreparedImage>
+                                         p) {
+                                   if (!p.ok()) {
+                                     done_i(p.status());
+                                     return;
+                                   }
+                                   (*prepared)[i] = p.value();
+                                   done_i(OkStatus());
+                                 });
+                           });
+            };
+            (*deploy_next)(0);
+          },
+          [this, prepared, hook, barrier, t0,
+           done = std::move(done)](Status all) mutable {
+            if (!all.ok()) {
+              if (barrier != nullptr) barrier->ReleaseBuffered();
+              done(all);
+              return;
+            }
+            CommitAll(std::move(*prepared), hook, barrier, t0,
+                      cp_.events().Now(), std::move(done));
+          });
+    });
+  });
+}
+
+void CollectiveCodeFlow::BroadcastWasm(
+    const std::vector<const wasm::FilterModule*>& filters, int hook,
+    UpdateBarrier* barrier,
+    std::function<void(StatusOr<BroadcastResult>)> done) {
+  if (filters.size() != group_.size()) {
+    done(InvalidArgument("one filter per group member required"));
+    return;
+  }
+  const sim::SimTime t0 = cp_.events().Now();
+  if (barrier != nullptr) barrier->BeginBuffering();
+
+  // Own copies: the caller's filters need not outlive the async phases.
+  auto owned = std::make_shared<std::vector<wasm::FilterModule>>();
+  owned->reserve(filters.size());
+  for (const wasm::FilterModule* filter : filters) owned->push_back(*filter);
+
+  auto prepared = std::make_shared<std::vector<ControlPlane::PreparedImage>>(
+      group_.size());
+  ForAll(
+      group_.size(),
+      [this, owned, prepared, hook](std::size_t i,
+                                    std::function<void(Status)> done_i) {
+        CodeFlow& flow = *group_[i];
+        const wasm::FilterModule& module = (*owned)[i];
+        cp_.ValidateWasm(module, [this, &flow, &module, owned, prepared, i,
+                                  hook, done_i](Status s) mutable {
+          if (!s.ok()) {
+            done_i(s);
+            return;
+          }
+          cp_.CompileWasm(module, [this, &flow, prepared, i, hook, done_i](
+                                      StatusOr<const wasm::WasmImage*> img) {
+            if (!img.ok()) {
+              done_i(img.status());
+              return;
+            }
+            cp_.LinkWasm(flow, *img.value(),
+                         [this, &flow, prepared, i, hook,
+                          done_i](StatusOr<wasm::WasmImage> linked) {
+                           if (!linked.ok()) {
+                             done_i(linked.status());
+                             return;
+                           }
+                           cp_.PrepareImage(
+                               flow, linked->Serialize(),
+                               flow.HookVersion(hook) + 1,
+                               [prepared, i, done_i](
+                                   StatusOr<ControlPlane::PreparedImage> p) {
+                                 if (!p.ok()) {
+                                   done_i(p.status());
+                                   return;
+                                 }
+                                 (*prepared)[i] = p.value();
+                                 done_i(OkStatus());
+                               });
+                         });
+          });
+        });
+      },
+      [this, prepared, hook, barrier, t0,
+       done = std::move(done)](Status all) mutable {
+        if (!all.ok()) {
+          if (barrier != nullptr) barrier->ReleaseBuffered();
+          done(all);
+          return;
+        }
+        CommitAll(std::move(*prepared), hook, barrier, t0,
+                  cp_.events().Now(), std::move(done));
+      });
+}
+
+void CollectiveCodeFlow::CommitAll(
+    std::vector<ControlPlane::PreparedImage> prepared, int hook,
+    UpdateBarrier* barrier, sim::SimTime t0, sim::SimTime prepare_done,
+    std::function<void(StatusOr<BroadcastResult>)> done) {
+  auto first_commit = std::make_shared<sim::SimTime>(0);
+  auto last_commit = std::make_shared<sim::SimTime>(0);
+  auto prepared_shared =
+      std::make_shared<std::vector<ControlPlane::PreparedImage>>(
+          std::move(prepared));
+
+  ForAll(
+      group_.size(),
+      [this, prepared_shared, hook, first_commit, last_commit](
+          std::size_t i, std::function<void(Status)> done_i) {
+        cp_.CommitPrepared(
+            *group_[i], hook, (*prepared_shared)[i],
+            [this, first_commit, last_commit, done_i](Status s) {
+              const sim::SimTime now = cp_.events().Now();
+              if (*first_commit == 0) *first_commit = now;
+              *last_commit = std::max(*last_commit, now);
+              done_i(s);
+            });
+      },
+      [this, barrier, hook, t0, prepare_done, first_commit, last_commit,
+       prepared_shared, done = std::move(done)](Status all) mutable {
+        if (!all.ok()) {
+          if (barrier != nullptr) barrier->ReleaseBuffered();
+          done(all);
+          return;
+        }
+        // Visibility barrier: the commits have landed in DRAM, but each
+        // data-plane CPU sees its new hook only after the injected flush
+        // executes. Poll the group (1 us cadence) until every sandbox
+        // serves the new version, then release buffered requests — this
+        // is what guarantees no request observes mixed logic.
+        auto wait_visible =
+            std::make_shared<std::function<void()>>();
+        *wait_visible = [this, barrier, hook, t0, prepare_done, first_commit,
+                         last_commit, prepared_shared, done, wait_visible] {
+          for (std::size_t i = 0; i < group_.size(); ++i) {
+            if (group_[i]->sandbox->VisibleVersion(hook) !=
+                (*prepared_shared)[i].version) {
+              cp_.events().ScheduleAfter(sim::Micros(1), *wait_visible);
+              return;
+            }
+          }
+          BroadcastResult result;
+          result.nodes = group_.size();
+          result.prepare_time = prepare_done - t0;
+          result.commit_window = cp_.events().Now() - *first_commit;
+          result.total = cp_.events().Now() - t0;
+          (void)*last_commit;
+          if (barrier != nullptr) {
+            result.buffered_requests = barrier->BufferedCount();
+            barrier->ReleaseBuffered();
+          }
+          done(result);
+        };
+        (*wait_visible)();
+      });
+}
+
+}  // namespace rdx::core

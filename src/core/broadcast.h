@@ -1,0 +1,64 @@
+// Collective CodeFlow (rdx_broadcast, §4 "fast and consistent extension
+// updates"). A group update is treated as a transaction whose write set
+// spans all target hooks: phase 1 *prepares* every node (image + desc in
+// the scratchpad, no commit), phase 2 fires all qword commits in
+// parallel, and Big Bubble Update (BBU) buffering holds incoming requests
+// for the short commit window so no request ever observes mixed logic.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/codeflow.h"
+
+namespace rdx::core {
+
+// Implemented by the data plane (e.g. the mesh's ingress) so a collective
+// update can buffer and release requests around the commit point.
+class UpdateBarrier {
+ public:
+  virtual ~UpdateBarrier() = default;
+  // Start holding new requests instead of dispatching them.
+  virtual void BeginBuffering() = 0;
+  // Release held requests (in dependency order) and stop buffering.
+  virtual void ReleaseBuffered() = 0;
+  virtual std::size_t BufferedCount() const = 0;
+};
+
+struct BroadcastResult {
+  sim::Duration prepare_time = 0;   // slowest node's prepare
+  sim::Duration commit_window = 0;  // first->last commit visibility
+  sim::Duration total = 0;
+  std::size_t buffered_requests = 0;
+  std::size_t nodes = 0;
+};
+
+// One collective operation over a group of CodeFlows.
+class CollectiveCodeFlow {
+ public:
+  CollectiveCodeFlow(ControlPlane& cp, std::vector<CodeFlow*> group)
+      : cp_(cp), group_(std::move(group)) {}
+
+  // Deploys `prog` to `hook` on every node in the group, transactionally.
+  // With a non-null `barrier`, requests are buffered across the commit
+  // window (BBU), guaranteeing update consistency.
+  void Broadcast(const bpf::Program& prog, int hook, UpdateBarrier* barrier,
+                 std::function<void(StatusOr<BroadcastResult>)> done);
+
+  // Wasm-filter variant: per-node filters (size must equal the group's).
+  void BroadcastWasm(const std::vector<const wasm::FilterModule*>& filters,
+                     int hook, UpdateBarrier* barrier,
+                     std::function<void(StatusOr<BroadcastResult>)> done);
+
+ private:
+  // Shared phase-2 logic once every node holds a PreparedImage.
+  void CommitAll(std::vector<ControlPlane::PreparedImage> prepared, int hook,
+                 UpdateBarrier* barrier, sim::SimTime t0,
+                 sim::SimTime prepare_done,
+                 std::function<void(StatusOr<BroadcastResult>)> done);
+
+  ControlPlane& cp_;
+  std::vector<CodeFlow*> group_;
+};
+
+}  // namespace rdx::core

@@ -1,0 +1,1367 @@
+#include "core/codeflow.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "core/gatekeeper.h"
+
+namespace rdx::core {
+
+namespace {
+constexpr std::uint64_t kLocalArenaBytes = 16u << 20;
+constexpr std::uint64_t kAllocAlign = 64;
+
+std::uint64_t AlignUp(std::uint64_t n, std::uint64_t a) {
+  return (n + a - 1) & ~(a - 1);
+}
+}  // namespace
+
+std::uint64_t ProgramFingerprint(const bpf::Program& prog) {
+  Bytes bytes = prog.Encode();
+  for (const bpf::MapSpec& map : prog.maps) {
+    bytes.insert(bytes.end(), map.name.begin(), map.name.end());
+    AppendLE<std::uint32_t>(bytes, static_cast<std::uint32_t>(map.type));
+    AppendLE<std::uint32_t>(bytes, map.key_size);
+    AppendLE<std::uint32_t>(bytes, map.value_size);
+    AppendLE<std::uint32_t>(bytes, map.max_entries);
+  }
+  return Fnv1a64(bytes);
+}
+
+std::uint64_t WasmFingerprint(const wasm::FilterModule& module) {
+  Bytes bytes;
+  for (const wasm::WasmInsn& insn : module.code) {
+    bytes.push_back(static_cast<std::uint8_t>(insn.op));
+    AppendLE<std::int64_t>(bytes, insn.imm);
+  }
+  for (const wasm::ImportDecl& import : module.imports) {
+    bytes.insert(bytes.end(), import.name.begin(), import.name.end());
+    bytes.push_back(0);
+  }
+  return Fnv1a64(bytes);
+}
+
+StatusOr<std::uint64_t> CodeFlow::Symbol(std::uint64_t hash) const {
+  auto it = symbols_.find(hash);
+  if (it == symbols_.end()) return NotFound("symbol not exported by target");
+  return it->second;
+}
+
+ControlPlane::ControlPlane(sim::EventQueue& events, rdma::Fabric& fabric,
+                           rdma::NodeId self, ControlPlaneConfig config)
+    : events_(events),
+      fabric_(fabric),
+      self_(self),
+      config_(config),
+      cpu_(events, config.cost.cores_per_node, config.cost.cpu_hz) {
+  cq_ = &fabric_.CreateCq(self_, 65536);
+  cq_->SetNotify([this](const rdma::WorkCompletion& wc) {
+    auto it = pending_.find(wc.wr_id);
+    if (it == pending_.end()) return false;
+    auto handler = std::move(it->second.on_complete);
+    pending_.erase(it);
+    handler(wc);
+    return true;
+  });
+  // Local staging arena: WRITE sources and READ/atomic landing buffers.
+  auto& mem = fabric_.node(self_).memory();
+  auto arena = mem.Allocate(kLocalArenaBytes, 4096);
+  auto mr = mem.Register(arena.value(), kLocalArenaBytes,
+                         rdma::kAccessLocalWrite);
+  local_mr_ = mr.value();
+}
+
+StatusOr<std::uint64_t> ControlPlane::LocalScratch(std::uint64_t bytes) {
+  // Ring allocation inside the arena. The fabric copies WRITE payloads at
+  // post time and scatters READ results at completion time, so reuse
+  // after wrap cannot corrupt in-flight operations.
+  bytes = AlignUp(bytes, kAllocAlign);
+  if (bytes > kLocalArenaBytes) return ResourceExhausted("payload too large");
+  if (arena_cursor_ + bytes > kLocalArenaBytes) arena_cursor_ = 0;
+  const std::uint64_t addr = local_mr_.addr + arena_cursor_;
+  arena_cursor_ += bytes;
+  return addr;
+}
+
+void ControlPlane::Post(
+    CodeFlow& flow, rdma::SendWr wr,
+    std::function<void(const rdma::WorkCompletion&)> done) {
+  wr.wr_id = next_wr_id_++;
+  wr.signaled = true;
+  pending_.emplace(wr.wr_id, PendingOp{std::move(done)});
+  const Status posted = flow.qp->PostSend(wr);
+  if (!posted.ok()) {
+    // The QP pushed a flush completion (or rejected the post); surface an
+    // error completion to the callback if the CQ did not already.
+    auto it = pending_.find(wr.wr_id);
+    if (it != pending_.end()) {
+      auto handler = std::move(it->second.on_complete);
+      pending_.erase(it);
+      rdma::WorkCompletion wc;
+      wc.wr_id = wr.wr_id;
+      wc.status = rdma::WcStatus::kWorkRequestFlushed;
+      wc.opcode = wr.opcode;
+      handler(wc);
+    }
+  }
+}
+
+void ControlPlane::CreateCodeFlow(
+    Sandbox& sandbox, const Sandbox::Registration& reg,
+    std::function<void(StatusOr<CodeFlow*>)> done) {
+  auto flow_owner = std::make_unique<CodeFlow>();
+  CodeFlow* flow = flow_owner.get();
+  flows_.push_back(std::move(flow_owner));
+  flow->node_ = sandbox.node().id();
+  flow->sandbox = &sandbox;
+  flow->rkey = reg.rkey;
+  flow->remote_view_.cb_addr = reg.cb_addr;
+
+  // QP plumbing (the CM exchange).
+  rdma::QueuePair& local_qp = fabric_.CreateQp(self_, *cq_, *cq_);
+  rdma::CompletionQueue& remote_cq = fabric_.CreateCq(flow->node_);
+  rdma::QueuePair& remote_qp =
+      fabric_.CreateQp(flow->node_, remote_cq, remote_cq);
+  Status connected = fabric_.Connect(local_qp, remote_qp);
+  if (!connected.ok()) {
+    done(connected);
+    return;
+  }
+  flow->qp = &local_qp;
+  flow->cq = cq_;
+
+  // Step 1: read the control block.
+  auto cb_buf = LocalScratch(kControlBlockBytes);
+  if (!cb_buf.ok()) {
+    done(cb_buf.status());
+    return;
+  }
+  rdma::SendWr read_cb;
+  read_cb.opcode = rdma::Opcode::kRead;
+  read_cb.local = {cb_buf.value(), kControlBlockBytes, local_mr_.lkey};
+  read_cb.remote_addr = reg.cb_addr;
+  read_cb.rkey = reg.rkey;
+  Post(*flow, read_cb, [this, flow, cb_buf = cb_buf.value(),
+                        done](const rdma::WorkCompletion& wc) {
+    if (wc.status != rdma::WcStatus::kSuccess) {
+      done(Unavailable("control block read failed"));
+      return;
+    }
+    auto& mem = fabric_.node(self_).memory();
+    auto word = [&](std::uint64_t off) {
+      return mem.ReadU64(cb_buf + off).value();
+    };
+    if (word(kCbMagic) != kControlBlockMagic) {
+      done(FailedPrecondition("remote control block has bad magic"));
+      return;
+    }
+    ControlBlockView& view = flow->remote_view_;
+    view.epoch = word(kCbEpoch);
+    view.hook_table_addr = word(kCbHookTableAddr);
+    view.hook_count = word(kCbHookCount);
+    view.meta_xstate_addr = word(kCbMetaXstateAddr);
+    view.meta_capacity = word(kCbMetaCapacity);
+    view.scratch_addr = word(kCbScratchAddr);
+    view.scratch_size = word(kCbScratchSize);
+    view.symtab_addr = word(kCbSymtabAddr);
+    view.symtab_len = word(kCbSymtabLen);
+
+    // Step 2: read the symbol table (the exposed global context / GOT).
+    auto sym_buf = LocalScratch(view.symtab_len);
+    if (!sym_buf.ok()) {
+      done(sym_buf.status());
+      return;
+    }
+    rdma::SendWr read_sym;
+    read_sym.opcode = rdma::Opcode::kRead;
+    read_sym.local = {sym_buf.value(),
+                      static_cast<std::uint32_t>(view.symtab_len),
+                      local_mr_.lkey};
+    read_sym.remote_addr = view.symtab_addr;
+    read_sym.rkey = flow->rkey;
+    Post(*flow, read_sym, [this, flow, sym_buf = sym_buf.value(),
+                           done](const rdma::WorkCompletion& wc2) {
+      if (wc2.status != rdma::WcStatus::kSuccess) {
+        done(Unavailable("symbol table read failed"));
+        return;
+      }
+      auto& mem = fabric_.node(self_).memory();
+      Bytes raw(flow->remote_view_.symtab_len);
+      (void)mem.Read(sym_buf, raw);
+      if (raw.size() < 4) {
+        done(FailedPrecondition("truncated symbol table"));
+        return;
+      }
+      const std::uint32_t count = LoadLE<std::uint32_t>(raw.data());
+      if (4 + count * 16ull > raw.size()) {
+        done(FailedPrecondition("truncated symbol table"));
+        return;
+      }
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint64_t hash =
+            LoadLE<std::uint64_t>(raw.data() + 4 + i * 16);
+        const std::uint64_t value =
+            LoadLE<std::uint64_t>(raw.data() + 4 + i * 16 + 8);
+        flow->symbols_.emplace(hash, value);
+      }
+      done(flow);
+    });
+  });
+}
+
+// ---- compile pipeline -------------------------------------------------
+
+void ControlPlane::ValidateCode(const bpf::Program& prog, Done done) {
+  const std::uint64_t fp = ProgramFingerprint(prog);
+  if (auto it = verify_cache_.find(fp); it != verify_cache_.end()) {
+    ++cache_hits_;
+    done(it->second ? OkStatus()
+                    : InvalidArgument("program known to fail verification"));
+    return;
+  }
+  ++cache_misses_;
+  // Real verification work happens now; virtual time is charged to the
+  // control plane's CPU (not any data-plane node).
+  bpf::VerifierStats stats;
+  const Status verdict = bpf::Verifier().Verify(prog, &stats);
+  verify_cache_[fp] = verdict.ok();
+  cpu_.Submit(config_.cost.VerifyCycles(prog.size()),
+              [done = std::move(done), verdict] { done(verdict); });
+}
+
+void ControlPlane::JitCompileCode(
+    const bpf::Program& prog,
+    std::function<void(StatusOr<const bpf::JitImage*>)> done) {
+  const std::uint64_t fp = ProgramFingerprint(prog);
+  if (auto it = ebpf_cache_.find(fp); it != ebpf_cache_.end()) {
+    ++cache_hits_;
+    done(const_cast<const bpf::JitImage*>(&it->second));
+    return;
+  }
+  ++cache_misses_;
+  auto image = bpf::JitCompiler().Compile(prog);
+  cpu_.Submit(config_.cost.JitCycles(prog.size()),
+              [this, fp, image = std::move(image), done = std::move(done)] {
+                if (!image.ok()) {
+                  done(image.status());
+                  return;
+                }
+                auto [it, inserted] = ebpf_cache_.emplace(fp, image.value());
+                (void)inserted;
+                done(const_cast<const bpf::JitImage*>(&it->second));
+              });
+}
+
+void ControlPlane::ValidateWasm(const wasm::FilterModule& module, Done done) {
+  const Status verdict = wasm::ValidateFilter(module);
+  cpu_.Submit(config_.cost.WasmValidateCycles(module.size()),
+              [done = std::move(done), verdict] { done(verdict); });
+}
+
+void ControlPlane::CompileWasm(
+    const wasm::FilterModule& module,
+    std::function<void(StatusOr<const wasm::WasmImage*>)> done) {
+  const std::uint64_t fp = WasmFingerprint(module);
+  if (auto it = wasm_cache_.find(fp); it != wasm_cache_.end()) {
+    ++cache_hits_;
+    done(const_cast<const wasm::WasmImage*>(&it->second));
+    return;
+  }
+  ++cache_misses_;
+  auto image = wasm::CompileFilter(module);
+  cpu_.Submit(config_.cost.WasmCompileCycles(module.size()),
+              [this, fp, image = std::move(image), done = std::move(done)] {
+                if (!image.ok()) {
+                  done(image.status());
+                  return;
+                }
+                auto [it, inserted] = wasm_cache_.emplace(fp, image.value());
+                (void)inserted;
+                done(const_cast<const wasm::WasmImage*>(&it->second));
+              });
+}
+
+// ---- link -------------------------------------------------------------
+
+void ControlPlane::LinkCode(
+    CodeFlow& flow, const bpf::JitImage& image,
+    std::function<void(StatusOr<bpf::JitImage>)> done) {
+  bpf::JitImage linked = image;
+  for (const bpf::Relocation& reloc : linked.relocs) {
+    if (reloc.kind == bpf::RelocKind::kHelperCall) {
+      auto symbol = flow.Symbol(
+          SymbolHash("helper:", static_cast<std::uint64_t>(reloc.symbol)));
+      if (!symbol.ok()) {
+        done(FailedPrecondition("target node does not export helper " +
+                                std::to_string(reloc.symbol)));
+        return;
+      }
+      continue;
+    }
+    // Map relocation: patch the placeholder with the node-local XState
+    // address deployed for this map.
+    if (reloc.symbol < 0 ||
+        static_cast<std::size_t>(reloc.symbol) >= linked.maps.size()) {
+      done(Internal("relocation references unknown map slot"));
+      return;
+    }
+    const std::string& name = linked.maps[reloc.symbol].name;
+    auto it = flow.xstate_addrs_.find(name);
+    if (it == flow.xstate_addrs_.end()) {
+      done(FailedPrecondition("XState '" + name +
+                              "' not deployed on target"));
+      return;
+    }
+    linked.code[reloc.index].imm64 = it->second;
+  }
+  cpu_.Submit(
+      config_.cost.link_cycles_per_reloc *
+          std::max<std::uint64_t>(linked.relocs.size(), 1),
+      [done = std::move(done), linked = std::move(linked)]() mutable {
+        done(std::move(linked));
+      });
+}
+
+void ControlPlane::LinkWasm(
+    CodeFlow& flow, const wasm::WasmImage& image,
+    std::function<void(StatusOr<wasm::WasmImage>)> done) {
+  wasm::WasmImage linked = image;
+  for (wasm::WasmReloc& reloc : linked.relocs) {
+    auto symbol =
+        flow.Symbol(SymbolHashName("host:", reloc.import_name.c_str()));
+    if (!symbol.ok()) {
+      done(FailedPrecondition("target node does not export host fn '" +
+                              reloc.import_name + "'"));
+      return;
+    }
+    reloc.resolved_host_fn = static_cast<std::int32_t>(symbol.value());
+    linked.code[reloc.insn_index].imm =
+        static_cast<std::int64_t>(symbol.value());
+  }
+  cpu_.Submit(
+      config_.cost.link_cycles_per_reloc *
+          std::max<std::uint64_t>(linked.relocs.size(), 1),
+      [done = std::move(done), linked = std::move(linked)]() mutable {
+        done(std::move(linked));
+      });
+}
+
+// ---- RDMA building blocks ----------------------------------------------
+
+void ControlPlane::RemoteAlloc(
+    CodeFlow& flow, std::uint64_t bytes,
+    std::function<void(StatusOr<std::uint64_t>)> done) {
+  bytes = AlignUp(bytes, kAllocAlign);
+  auto landing = LocalScratch(8);
+  if (!landing.ok()) {
+    done(landing.status());
+    return;
+  }
+  rdma::SendWr faa;
+  faa.opcode = rdma::Opcode::kFetchAdd;
+  faa.local = {landing.value(), 8, local_mr_.lkey};
+  faa.remote_addr = flow.remote_view_.cb_addr + kCbScratchBrk;
+  faa.rkey = flow.rkey;
+  faa.compare_add = bytes;
+  Post(flow, faa, [&flow, bytes, done](const rdma::WorkCompletion& wc) {
+    if (wc.status != rdma::WcStatus::kSuccess) {
+      done(Unavailable("scratchpad FETCH_ADD failed"));
+      return;
+    }
+    const std::uint64_t addr = wc.atomic_original;
+    const ControlBlockView& view = flow.remote_view();
+    if (addr + bytes > view.scratch_addr + view.scratch_size) {
+      done(ResourceExhausted("remote scratchpad exhausted"));
+      return;
+    }
+    done(addr);
+  });
+}
+
+void ControlPlane::WriteChunked(CodeFlow& flow, Bytes payload,
+                                std::uint64_t remote_addr, Done done) {
+  const std::size_t total = payload.size();
+  const std::size_t nchunks =
+      std::max<std::size_t>(1, (total + config_.chunk_bytes - 1) /
+                                   config_.chunk_bytes);
+  auto remaining = std::make_shared<std::size_t>(nchunks);
+  auto failed = std::make_shared<bool>(false);
+  auto& mem = fabric_.node(self_).memory();
+
+  std::size_t off = 0;
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const std::size_t len =
+        std::min<std::size_t>(config_.chunk_bytes, total - off);
+    auto src = LocalScratch(std::max<std::size_t>(len, 1));
+    if (!src.ok()) {
+      done(src.status());
+      return;
+    }
+    if (len > 0) {
+      (void)mem.Write(src.value(), ByteSpan(payload.data() + off, len));
+    }
+    rdma::SendWr write;
+    write.opcode = rdma::Opcode::kWrite;
+    write.local = {src.value(), static_cast<std::uint32_t>(len),
+                   local_mr_.lkey};
+    write.remote_addr = remote_addr + off;
+    write.rkey = flow.rkey;
+    Post(flow, write,
+         [remaining, failed, done](const rdma::WorkCompletion& wc) {
+           if (wc.status != rdma::WcStatus::kSuccess) *failed = true;
+           if (--*remaining == 0) {
+             done(*failed ? Unavailable("RDMA write failed") : OkStatus());
+           }
+         });
+    off += len;
+  }
+}
+
+void ControlPlane::CommitHook(CodeFlow& flow, int hook,
+                              std::uint64_t desc_addr, Done done) {
+  if (config_.use_lock) {
+    // rdx_mutual_excl around the commit: take the sandbox lock via RDMA
+    // CAS, commit, release. Contention retries after a short backoff.
+    const std::uint64_t owner = 0x4350u;  // "CP"
+    Lock(flow, owner, [this, &flow, hook, desc_addr,
+                       done = std::move(done), owner](Status s) mutable {
+      if (!s.ok() && s.code() == StatusCode::kAborted) {
+        events_.ScheduleAfter(sim::Micros(5), [this, &flow, hook, desc_addr,
+                                               done = std::move(done)]() mutable {
+          CommitHook(flow, hook, desc_addr, std::move(done));
+        });
+        return;
+      }
+      if (!s.ok()) {
+        done(s);
+        return;
+      }
+      ControlPlaneConfig saved = config_;
+      config_.use_lock = false;  // avoid recursing into the lock path
+      CommitHook(flow, hook, desc_addr,
+                 [this, &flow, owner, done = std::move(done)](Status s2) mutable {
+                   Unlock(flow, owner, [done = std::move(done), s2](Status) {
+                     done(s2);
+                   });
+                 });
+      config_ = saved;
+    });
+    return;
+  }
+  // The commit is a single 8-byte write of the hook slot — atomic with
+  // respect to the data-plane CPU, which is the crux of rdx_tx.
+  Bytes qword(8);
+  StoreLE(qword.data(), desc_addr);
+  const std::uint64_t slot_addr =
+      flow.remote_view_.hook_table_addr + static_cast<std::uint64_t>(hook) * 8;
+
+  auto after_commit = [this, &flow, hook, done = std::move(done)](Status s) {
+    if (!s.ok()) {
+      done(s);
+      return;
+    }
+    ++flow.epoch_;
+    // Bump the remote epoch (fire and forget for timing purposes).
+    auto landing = LocalScratch(8);
+    if (landing.ok()) {
+      rdma::SendWr faa;
+      faa.opcode = rdma::Opcode::kFetchAdd;
+      faa.local = {landing.value(), 8, local_mr_.lkey};
+      faa.remote_addr = flow.remote_view_.cb_addr + kCbEpoch;
+      faa.rkey = flow.rkey;
+      faa.compare_add = 1;
+      Post(flow, faa, [](const rdma::WorkCompletion&) {});
+    }
+    // Visibility: with rdx_cc_event the control plane injects a flush
+    // (constant ~2 us); without it the CPU discovers the new slot only
+    // when cache pressure evicts the stale line.
+    if (config_.use_cc_event) {
+      CcEvent(flow, hook, std::move(done));
+    } else {
+      flow.sandbox->ScheduleHookRefresh(
+          hook, flow.sandbox->VisibilityDelay(/*coherent_flush=*/false));
+      done(OkStatus());
+    }
+  };
+
+  WriteChunked(flow, std::move(qword), slot_addr, std::move(after_commit));
+}
+
+void ControlPlane::CcEvent(CodeFlow& flow, int hook, Done done) {
+  // Models injecting a tiny cache-coherent flush binary at the event
+  // hook: one header-sized verb plus the flush execution latency.
+  auto src = LocalScratch(8);
+  if (!src.ok()) {
+    done(src.status());
+    return;
+  }
+  rdma::SendWr write;
+  write.opcode = rdma::Opcode::kWrite;
+  write.local = {src.value(), 8, local_mr_.lkey};
+  // The "event hook" doorbell word of the control block.
+  write.remote_addr = flow.remote_view_.cb_addr + kCbDoorbell;
+  write.rkey = flow.rkey;
+  Post(flow, write,
+       [&flow, hook, done = std::move(done)](const rdma::WorkCompletion& wc) {
+         if (wc.status != rdma::WcStatus::kSuccess) {
+           done(Unavailable("cc_event write failed"));
+           return;
+         }
+         flow.sandbox->ScheduleHookRefresh(
+             hook, flow.sandbox->VisibilityDelay(/*coherent_flush=*/true));
+         done(OkStatus());
+       });
+}
+
+void ControlPlane::Lock(CodeFlow& flow, std::uint64_t owner, Done done) {
+  auto landing = LocalScratch(8);
+  if (!landing.ok()) {
+    done(landing.status());
+    return;
+  }
+  rdma::SendWr cas;
+  cas.opcode = rdma::Opcode::kCompareSwap;
+  cas.local = {landing.value(), 8, local_mr_.lkey};
+  cas.remote_addr = flow.remote_view_.cb_addr + kCbLock;
+  cas.rkey = flow.rkey;
+  cas.compare_add = 0;  // expect unlocked
+  cas.swap = owner;
+  Post(flow, cas, [done = std::move(done)](const rdma::WorkCompletion& wc) {
+    if (wc.status != rdma::WcStatus::kSuccess) {
+      done(Unavailable("lock CAS failed"));
+      return;
+    }
+    done(wc.atomic_original == 0
+             ? OkStatus()
+             : Aborted("sandbox lock held by another owner"));
+  });
+}
+
+void ControlPlane::Unlock(CodeFlow& flow, std::uint64_t owner, Done done) {
+  auto landing = LocalScratch(8);
+  if (!landing.ok()) {
+    done(landing.status());
+    return;
+  }
+  rdma::SendWr cas;
+  cas.opcode = rdma::Opcode::kCompareSwap;
+  cas.local = {landing.value(), 8, local_mr_.lkey};
+  cas.remote_addr = flow.remote_view_.cb_addr + kCbLock;
+  cas.rkey = flow.rkey;
+  cas.compare_add = owner;
+  cas.swap = 0;
+  Post(flow, cas, [done = std::move(done)](const rdma::WorkCompletion& wc) {
+    if (wc.status != rdma::WcStatus::kSuccess) {
+      done(Unavailable("unlock CAS failed"));
+      return;
+    }
+    done(wc.atomic_original == 0 ? Aborted("lock was not held") : OkStatus());
+  });
+}
+
+void ControlPlane::Tx(CodeFlow& flow, Bytes payload, std::uint64_t qword_addr,
+                      std::uint64_t qword_value,
+                      std::function<void(StatusOr<std::uint64_t>)> done) {
+  RemoteAlloc(flow, payload.size(),
+              [this, &flow, payload = std::move(payload), qword_addr,
+               qword_value, done = std::move(done)](
+                  StatusOr<std::uint64_t> addr) mutable {
+                if (!addr.ok()) {
+                  done(addr.status());
+                  return;
+                }
+                const std::uint64_t payload_addr = addr.value();
+                WriteChunked(
+                    flow, std::move(payload), payload_addr,
+                    [this, &flow, qword_addr, qword_value, payload_addr,
+                     done = std::move(done)](Status s) mutable {
+                      if (!s.ok()) {
+                        done(s);
+                        return;
+                      }
+                      Bytes qword(8);
+                      StoreLE(qword.data(), qword_value);
+                      WriteChunked(flow, std::move(qword), qword_addr,
+                                   [payload_addr, done = std::move(done)](
+                                       Status s2) {
+                                     if (!s2.ok()) {
+                                       done(s2);
+                                       return;
+                                     }
+                                     done(payload_addr);
+                                   });
+                    });
+              });
+}
+
+// ---- XState (§3.4) ------------------------------------------------------
+
+void ControlPlane::DeployXState(
+    CodeFlow& flow, const bpf::MapSpec& spec,
+    std::function<void(StatusOr<std::uint64_t>)> done) {
+  const std::uint64_t bytes = bpf::MapRequiredBytes(spec);
+  // Format the XState locally (header + zeroed body), then land it with a
+  // remote transaction whose qword swap is the Meta-XState entry.
+  Bytes storage(bytes, 0);
+  bpf::MapView view(storage);
+  Status init = view.Init(spec);
+  if (!init.ok()) {
+    done(init);
+    return;
+  }
+  if (flow.next_meta_slot_ >= flow.remote_view_.meta_capacity) {
+    done(ResourceExhausted("Meta-XState directory full"));
+    return;
+  }
+  const std::uint32_t meta_slot = flow.next_meta_slot_++;
+  const std::uint64_t meta_entry_addr =
+      flow.remote_view_.meta_xstate_addr + meta_slot * 8ull;
+
+  RemoteAlloc(flow, bytes,
+              [this, &flow, storage = std::move(storage), meta_entry_addr,
+               name = spec.name, done = std::move(done)](
+                  StatusOr<std::uint64_t> addr) mutable {
+                if (!addr.ok()) {
+                  done(addr.status());
+                  return;
+                }
+                const std::uint64_t xstate_addr = addr.value();
+                WriteChunked(
+                    flow, std::move(storage), xstate_addr,
+                    [this, &flow, xstate_addr, meta_entry_addr, name,
+                     done = std::move(done)](Status s) mutable {
+                      if (!s.ok()) {
+                        done(s);
+                        return;
+                      }
+                      Bytes entry(8);
+                      StoreLE(entry.data(), xstate_addr);
+                      WriteChunked(flow, std::move(entry), meta_entry_addr,
+                                   [&flow, xstate_addr, name,
+                                    done = std::move(done)](Status s2) {
+                                     if (!s2.ok()) {
+                                       done(s2);
+                                       return;
+                                     }
+                                     flow.xstate_addrs_[name] = xstate_addr;
+                                     done(xstate_addr);
+                                   });
+                    });
+              });
+}
+
+void ControlPlane::XStateLookup(CodeFlow& flow, std::uint64_t xstate_addr,
+                                Bytes key,
+                                std::function<void(StatusOr<Bytes>)> done) {
+  // Read the full XState storage, then resolve the key locally. (An
+  // array-map fast path could read just the value; the general path keeps
+  // hash maps correct.)
+  auto header_buf = LocalScratch(bpf::kMapHeaderBytes);
+  if (!header_buf.ok()) {
+    done(header_buf.status());
+    return;
+  }
+  rdma::SendWr read_header;
+  read_header.opcode = rdma::Opcode::kRead;
+  read_header.local = {header_buf.value(), bpf::kMapHeaderBytes,
+                       local_mr_.lkey};
+  read_header.remote_addr = xstate_addr;
+  read_header.rkey = flow.rkey;
+  Post(flow, read_header, [this, &flow, xstate_addr, key = std::move(key),
+                           header_buf = header_buf.value(),
+                           done = std::move(done)](
+                              const rdma::WorkCompletion& wc) mutable {
+    if (wc.status != rdma::WcStatus::kSuccess) {
+      done(Unavailable("XState header read failed"));
+      return;
+    }
+    auto& mem = fabric_.node(self_).memory();
+    Bytes header_bytes(bpf::kMapHeaderBytes);
+    (void)mem.Read(header_buf, header_bytes);
+    bpf::MapView probe(header_bytes);
+    auto header = probe.Header();
+    if (!header.ok()) {
+      done(header.status());
+      return;
+    }
+    bpf::MapSpec spec{"", header->type, header->key_size,
+                      header->value_size, header->max_entries};
+    const std::uint64_t total = bpf::MapRequiredBytes(spec);
+    auto body_buf = LocalScratch(total);
+    if (!body_buf.ok()) {
+      done(body_buf.status());
+      return;
+    }
+    rdma::SendWr read_all;
+    read_all.opcode = rdma::Opcode::kRead;
+    read_all.local = {body_buf.value(), static_cast<std::uint32_t>(total),
+                      local_mr_.lkey};
+    read_all.remote_addr = xstate_addr;
+    read_all.rkey = flow.rkey;
+    Post(flow, read_all,
+         [this, total, spec, key = std::move(key), body_buf = body_buf.value(),
+          done = std::move(done)](const rdma::WorkCompletion& wc2) mutable {
+           if (wc2.status != rdma::WcStatus::kSuccess) {
+             done(Unavailable("XState body read failed"));
+             return;
+           }
+           auto& mem = fabric_.node(self_).memory();
+           Bytes body(total);
+           (void)mem.Read(body_buf, body);
+           bpf::MapView view(body);
+           Bytes value(spec.value_size);
+           Status s = view.Lookup(key, value);
+           if (!s.ok()) {
+             done(s);
+             return;
+           }
+           done(std::move(value));
+         });
+  });
+}
+
+void ControlPlane::XStateUpdate(CodeFlow& flow, std::uint64_t xstate_addr,
+                                Bytes key, Bytes value, Done done) {
+  // Same pattern: fetch storage, apply the update locally to compute the
+  // dirty range, write back just the touched entry plus the header word.
+  auto header_buf = LocalScratch(bpf::kMapHeaderBytes);
+  if (!header_buf.ok()) {
+    done(header_buf.status());
+    return;
+  }
+  rdma::SendWr read_header;
+  read_header.opcode = rdma::Opcode::kRead;
+  read_header.local = {header_buf.value(), bpf::kMapHeaderBytes,
+                       local_mr_.lkey};
+  read_header.remote_addr = xstate_addr;
+  read_header.rkey = flow.rkey;
+  Post(flow, read_header, [this, &flow, xstate_addr, key = std::move(key),
+                           value = std::move(value),
+                           header_buf = header_buf.value(),
+                           done = std::move(done)](
+                              const rdma::WorkCompletion& wc) mutable {
+    if (wc.status != rdma::WcStatus::kSuccess) {
+      done(Unavailable("XState header read failed"));
+      return;
+    }
+    auto& mem = fabric_.node(self_).memory();
+    Bytes header_bytes(bpf::kMapHeaderBytes);
+    (void)mem.Read(header_buf, header_bytes);
+    bpf::MapView probe(header_bytes);
+    auto header = probe.Header();
+    if (!header.ok()) {
+      done(header.status());
+      return;
+    }
+    bpf::MapSpec spec{"", header->type, header->key_size,
+                      header->value_size, header->max_entries};
+    const std::uint64_t total = bpf::MapRequiredBytes(spec);
+    auto body_buf = LocalScratch(total);
+    if (!body_buf.ok()) {
+      done(body_buf.status());
+      return;
+    }
+    rdma::SendWr read_all;
+    read_all.opcode = rdma::Opcode::kRead;
+    read_all.local = {body_buf.value(), static_cast<std::uint32_t>(total),
+                      local_mr_.lkey};
+    read_all.remote_addr = xstate_addr;
+    read_all.rkey = flow.rkey;
+    Post(flow, read_all, [this, &flow, xstate_addr, total, spec,
+                          key = std::move(key), value = std::move(value),
+                          body_buf = body_buf.value(),
+                          done = std::move(done)](
+                             const rdma::WorkCompletion& wc2) mutable {
+      if (wc2.status != rdma::WcStatus::kSuccess) {
+        done(Unavailable("XState body read failed"));
+        return;
+      }
+      auto& mem = fabric_.node(self_).memory();
+      Bytes body(total);
+      (void)mem.Read(body_buf, body);
+      bpf::MapView view(body);
+      Status s = view.Update(key, value);
+      if (!s.ok()) {
+        done(s);
+        return;
+      }
+      // Write back the whole storage (conservative dirty range).
+      WriteChunked(flow, std::move(body), xstate_addr, std::move(done));
+    });
+  });
+}
+
+void ControlPlane::CopyXState(CodeFlow& src, std::uint64_t src_addr,
+                              CodeFlow& dst, std::uint64_t dst_addr,
+                              Done done) {
+  // Read the source header to learn the geometry, then move the whole
+  // storage in one read + one chunked write.
+  auto header_buf = LocalScratch(bpf::kMapHeaderBytes);
+  if (!header_buf.ok()) {
+    done(header_buf.status());
+    return;
+  }
+  rdma::SendWr read_header;
+  read_header.opcode = rdma::Opcode::kRead;
+  read_header.local = {header_buf.value(), bpf::kMapHeaderBytes,
+                       local_mr_.lkey};
+  read_header.remote_addr = src_addr;
+  read_header.rkey = src.rkey;
+  Post(src, read_header, [this, &src, &dst, src_addr, dst_addr,
+                          header_buf = header_buf.value(),
+                          done = std::move(done)](
+                             const rdma::WorkCompletion& wc) mutable {
+    if (wc.status != rdma::WcStatus::kSuccess) {
+      done(Unavailable("XState header read failed"));
+      return;
+    }
+    auto& mem = fabric_.node(self_).memory();
+    Bytes header_bytes(bpf::kMapHeaderBytes);
+    (void)mem.Read(header_buf, header_bytes);
+    bpf::MapView probe(header_bytes);
+    auto header = probe.Header();
+    if (!header.ok()) {
+      done(header.status());
+      return;
+    }
+    bpf::MapSpec spec{"", header->type, header->key_size,
+                      header->value_size, header->max_entries};
+    const std::uint64_t total = bpf::MapRequiredBytes(spec);
+    auto body_buf = LocalScratch(total);
+    if (!body_buf.ok()) {
+      done(body_buf.status());
+      return;
+    }
+    rdma::SendWr read_all;
+    read_all.opcode = rdma::Opcode::kRead;
+    read_all.local = {body_buf.value(), static_cast<std::uint32_t>(total),
+                      local_mr_.lkey};
+    read_all.remote_addr = src_addr;
+    read_all.rkey = src.rkey;
+    Post(src, read_all, [this, &dst, dst_addr, total,
+                         body_buf = body_buf.value(),
+                         done = std::move(done)](
+                            const rdma::WorkCompletion& wc2) mutable {
+      if (wc2.status != rdma::WcStatus::kSuccess) {
+        done(Unavailable("XState body read failed"));
+        return;
+      }
+      auto& mem = fabric_.node(self_).memory();
+      Bytes body(total);
+      (void)mem.Read(body_buf, body);
+      WriteChunked(dst, std::move(body), dst_addr, std::move(done));
+    });
+  });
+}
+
+void ControlPlane::XStateDump(
+    CodeFlow& flow, std::uint64_t xstate_addr,
+    std::function<void(StatusOr<std::vector<std::pair<Bytes, Bytes>>>)>
+        done) {
+  auto header_buf = LocalScratch(bpf::kMapHeaderBytes);
+  if (!header_buf.ok()) {
+    done(header_buf.status());
+    return;
+  }
+  rdma::SendWr read_header;
+  read_header.opcode = rdma::Opcode::kRead;
+  read_header.local = {header_buf.value(), bpf::kMapHeaderBytes,
+                       local_mr_.lkey};
+  read_header.remote_addr = xstate_addr;
+  read_header.rkey = flow.rkey;
+  Post(flow, read_header, [this, &flow, xstate_addr,
+                           header_buf = header_buf.value(),
+                           done = std::move(done)](
+                              const rdma::WorkCompletion& wc) mutable {
+    if (wc.status != rdma::WcStatus::kSuccess) {
+      done(Unavailable("XState header read failed"));
+      return;
+    }
+    auto& mem = fabric_.node(self_).memory();
+    Bytes header_bytes(bpf::kMapHeaderBytes);
+    (void)mem.Read(header_buf, header_bytes);
+    bpf::MapView probe(header_bytes);
+    auto header = probe.Header();
+    if (!header.ok()) {
+      done(header.status());
+      return;
+    }
+    bpf::MapSpec spec{"", header->type, header->key_size,
+                      header->value_size, header->max_entries};
+    const std::uint64_t total = bpf::MapRequiredBytes(spec);
+    auto body_buf = LocalScratch(total);
+    if (!body_buf.ok()) {
+      done(body_buf.status());
+      return;
+    }
+    rdma::SendWr read_all;
+    read_all.opcode = rdma::Opcode::kRead;
+    read_all.local = {body_buf.value(), static_cast<std::uint32_t>(total),
+                      local_mr_.lkey};
+    read_all.remote_addr = xstate_addr;
+    read_all.rkey = flow.rkey;
+    Post(flow, read_all, [this, total, body_buf = body_buf.value(),
+                          done = std::move(done)](
+                             const rdma::WorkCompletion& wc2) mutable {
+      if (wc2.status != rdma::WcStatus::kSuccess) {
+        done(Unavailable("XState body read failed"));
+        return;
+      }
+      auto& mem = fabric_.node(self_).memory();
+      Bytes body(total);
+      (void)mem.Read(body_buf, body);
+      bpf::MapView view(body);
+      done(view.Dump());
+    });
+  });
+}
+
+void ControlPlane::XStateRingConsume(
+    CodeFlow& flow, std::uint64_t xstate_addr,
+    std::function<void(StatusOr<std::vector<Bytes>>)> done) {
+  // Read the header to learn the geometry, read the whole ring, decode
+  // records locally, then advance the remote tail word. Records produced
+  // after our snapshot are simply picked up by the next consume; the
+  // tail only moves past records we fully decoded, so the producer/
+  // consumer protocol stays correct with one-sided access.
+  auto header_buf = LocalScratch(bpf::kMapHeaderBytes);
+  if (!header_buf.ok()) {
+    done(header_buf.status());
+    return;
+  }
+  rdma::SendWr read_header;
+  read_header.opcode = rdma::Opcode::kRead;
+  read_header.local = {header_buf.value(), bpf::kMapHeaderBytes,
+                       local_mr_.lkey};
+  read_header.remote_addr = xstate_addr;
+  read_header.rkey = flow.rkey;
+  Post(flow, read_header, [this, &flow, xstate_addr,
+                           header_buf = header_buf.value(),
+                           done = std::move(done)](
+                              const rdma::WorkCompletion& wc) mutable {
+    if (wc.status != rdma::WcStatus::kSuccess) {
+      done(Unavailable("ring header read failed"));
+      return;
+    }
+    auto& mem = fabric_.node(self_).memory();
+    Bytes header_bytes(bpf::kMapHeaderBytes);
+    (void)mem.Read(header_buf, header_bytes);
+    bpf::MapView probe(header_bytes);
+    auto header = probe.Header();
+    if (!header.ok()) {
+      done(header.status());
+      return;
+    }
+    if (header->type != bpf::MapType::kRingBuf) {
+      done(FailedPrecondition("XState is not a ring buffer"));
+      return;
+    }
+    bpf::MapSpec spec{"", header->type, header->key_size,
+                      header->value_size, header->max_entries};
+    const std::uint64_t total = bpf::MapRequiredBytes(spec);
+    auto body_buf = LocalScratch(total);
+    if (!body_buf.ok()) {
+      done(body_buf.status());
+      return;
+    }
+    rdma::SendWr read_all;
+    read_all.opcode = rdma::Opcode::kRead;
+    read_all.local = {body_buf.value(), static_cast<std::uint32_t>(total),
+                      local_mr_.lkey};
+    read_all.remote_addr = xstate_addr;
+    read_all.rkey = flow.rkey;
+    Post(flow, read_all, [this, &flow, xstate_addr, total,
+                          body_buf = body_buf.value(),
+                          done = std::move(done)](
+                             const rdma::WorkCompletion& wc2) mutable {
+      if (wc2.status != rdma::WcStatus::kSuccess) {
+        done(Unavailable("ring body read failed"));
+        return;
+      }
+      auto& mem = fabric_.node(self_).memory();
+      Bytes body(total);
+      (void)mem.Read(body_buf, body);
+      bpf::MapView view(body);
+      auto records = view.RingConsume();
+      if (!records.ok()) {
+        done(records.status());
+        return;
+      }
+      if (records->empty()) {
+        done(std::vector<Bytes>{});
+        return;
+      }
+      // RingConsume advanced the tail in our local copy; publish it.
+      const std::uint64_t new_tail =
+          LoadLE<std::uint64_t>(body.data() + bpf::kRingTailOffset);
+      Bytes tail(8);
+      StoreLE(tail.data(), new_tail);
+      WriteChunked(flow, std::move(tail),
+                   xstate_addr + bpf::kRingTailOffset,
+                   [records = std::move(records).value(),
+                    done = std::move(done)](Status s) mutable {
+                     if (!s.ok()) {
+                       done(s);
+                       return;
+                     }
+                     done(std::move(records));
+                   });
+    });
+  });
+}
+
+// ---- deploy ------------------------------------------------------------
+
+void ControlPlane::DeployImageBytes(CodeFlow& flow, Bytes image_bytes,
+                                    int hook, std::uint64_t version,
+                                    Done done, InjectTrace* trace) {
+  const sim::SimTime dispatch_start = events_.Now();
+  events_.ScheduleAfter(config_.cost.rdx_dispatch_overhead, [this, &flow,
+                                                             image_bytes =
+                                                                 std::move(
+                                                                     image_bytes),
+                                                             hook, version,
+                                                             done = std::move(
+                                                                 done),
+                                                             trace,
+                                                             dispatch_start]() mutable {
+    auto& deployment = flow.hooks_[hook];
+    const sim::SimTime transfer_start = events_.Now();
+
+    // Vanilla (non-transactional) path: overwrite the live image region
+    // in place when it fits. The naive update order — metadata first,
+    // then code — leaves a window during which the data-plane CPU reads a
+    // *torn* image (new length/version, mixed code bytes). This is the
+    // §3.5 hazard rdx_tx's shadow-copy + qword-swap eliminates.
+    if (!config_.use_tx && deployment.desc_addr != 0 &&
+        image_bytes.size() <= deployment.region_capacity) {
+      const std::uint64_t image_addr = deployment.image_addr;
+      const std::uint64_t image_len = image_bytes.size();
+      Bytes desc(kImageDescBytes);
+      StoreLE(desc.data() + kDescImageAddr, image_addr);
+      StoreLE(desc.data() + kDescImageLen, image_len);
+      StoreLE(desc.data() + kDescVersion, version);
+      StoreLE(desc.data() + kDescRefcount, 1ull);
+      if (config_.signing_key != 0) {
+        StoreLE(desc.data() + kDescSignature,
+                SignImage(image_bytes, config_.signing_key));
+      }
+      WriteChunked(
+          flow, std::move(desc), deployment.desc_addr,
+          [this, &flow, hook, image_addr, version,
+           image_bytes = std::move(image_bytes), done = std::move(done),
+           trace, transfer_start](Status s) mutable {
+            if (!s.ok()) {
+              done(s);
+              return;
+            }
+            WriteChunked(
+                flow, std::move(image_bytes), image_addr,
+                [this, &flow, hook, version, done = std::move(done), trace,
+                 transfer_start](Status s2) mutable {
+                  if (!s2.ok()) {
+                    done(s2);
+                    return;
+                  }
+                  flow.hooks_[hook].version = version;
+                  if (trace != nullptr) {
+                    trace->transfer = events_.Now() - transfer_start;
+                  }
+                  // No atomic commit; visibility via cache eviction (or
+                  // flush if configured).
+                  flow.sandbox->ScheduleHookRefresh(
+                      hook,
+                      flow.sandbox->VisibilityDelay(config_.use_cc_event));
+                  done(OkStatus());
+                });
+          });
+      return;
+    }
+
+    // Transactional path: prepare (image + desc in a fresh region), then
+    // an atomic qword commit.
+    PrepareImage(flow, std::move(image_bytes), version,
+                 [this, &flow, hook, done = std::move(done), trace,
+                  transfer_start](StatusOr<PreparedImage> prepared) mutable {
+                   if (!prepared.ok()) {
+                     done(prepared.status());
+                     return;
+                   }
+                   if (trace != nullptr) {
+                     trace->transfer = events_.Now() - transfer_start;
+                   }
+                   const sim::SimTime commit_start = events_.Now();
+                   CommitPrepared(flow, hook, prepared.value(),
+                                  [done = std::move(done), trace,
+                                   commit_start, prepared = prepared.value(),
+                                   this](Status s2) mutable {
+                                    if (!s2.ok()) {
+                                      done(s2);
+                                      return;
+                                    }
+                                    if (trace != nullptr) {
+                                      trace->commit =
+                                          events_.Now() - commit_start;
+                                      trace->version = prepared.version;
+                                    }
+                                    done(OkStatus());
+                                  });
+                 });
+  });
+  (void)dispatch_start;
+}
+
+void ControlPlane::PrepareImage(
+    CodeFlow& flow, Bytes image_bytes, std::uint64_t version,
+    std::function<void(StatusOr<PreparedImage>)> done) {
+  const std::uint64_t image_len = image_bytes.size();
+  const std::uint64_t region =
+      AlignUp(image_len, kAllocAlign) + kImageDescBytes;
+  RemoteAlloc(flow, region, [this, &flow, version, image_len, region,
+                             image_bytes = std::move(image_bytes),
+                             done = std::move(done)](
+                                StatusOr<std::uint64_t> addr) mutable {
+    if (!addr.ok()) {
+      done(addr.status());
+      return;
+    }
+    const std::uint64_t image_addr = addr.value();
+    const std::uint64_t desc_off = AlignUp(image_len, kAllocAlign);
+    const std::uint64_t desc_addr = image_addr + desc_off;
+
+    // Compose image + desc into one buffer; RC ordering lets the payload
+    // writes and the desc write go out back-to-back (doorbell batch).
+    Bytes combined(desc_off + kImageDescBytes, 0);
+    std::copy(image_bytes.begin(), image_bytes.end(), combined.begin());
+    StoreLE(combined.data() + desc_off + kDescImageAddr, image_addr);
+    StoreLE(combined.data() + desc_off + kDescImageLen, image_len);
+    StoreLE(combined.data() + desc_off + kDescVersion, version);
+    StoreLE(combined.data() + desc_off + kDescRefcount, 1ull);
+    if (config_.signing_key != 0) {
+      StoreLE(combined.data() + desc_off + kDescSignature,
+              SignImage(image_bytes, config_.signing_key));
+    }
+
+    WriteChunked(flow, std::move(combined), image_addr,
+                 [image_addr, image_len, region, desc_addr, version,
+                  done = std::move(done)](Status s) mutable {
+                   if (!s.ok()) {
+                     done(s);
+                     return;
+                   }
+                   done(PreparedImage{desc_addr, image_addr, image_len,
+                                      region - kImageDescBytes, version});
+                 });
+  });
+}
+
+void ControlPlane::CommitPrepared(CodeFlow& flow, int hook,
+                                  const PreparedImage& prepared, Done done) {
+  CommitHook(flow, hook, prepared.desc_addr,
+             [&flow, hook, prepared, done = std::move(done)](Status s) {
+               if (!s.ok()) {
+                 done(s);
+                 return;
+               }
+               auto& deployment = flow.hooks_[hook];
+               if (deployment.desc_addr != 0) {
+                 deployment.desc_history.push_back(deployment.desc_addr);
+               }
+               deployment.desc_addr = prepared.desc_addr;
+               deployment.image_addr = prepared.image_addr;
+               deployment.region_capacity = prepared.region_capacity;
+               deployment.version = prepared.version;
+               done(OkStatus());
+             });
+}
+
+namespace {
+// Versions count update generations of a hook (comparable across nodes,
+// which is what mixed-version detection needs).
+std::uint64_t NextVersionFor(CodeFlow& flow, int hook) {
+  return flow.HookVersion(hook) + 1;
+}
+}  // namespace
+
+void ControlPlane::DeployProg(CodeFlow& flow, const bpf::JitImage& linked,
+                              int hook, Done done) {
+  if (!linked.IsLinked()) {
+    done(FailedPrecondition("image not linked; call rdx_link_code first"));
+    return;
+  }
+  DeployImageBytes(flow, linked.Serialize(), hook, NextVersionFor(flow, hook),
+                   std::move(done), nullptr);
+}
+
+void ControlPlane::DeployWasm(CodeFlow& flow, const wasm::WasmImage& linked,
+                              int hook, Done done) {
+  if (!linked.IsLinked()) {
+    done(FailedPrecondition("wasm image not linked"));
+    return;
+  }
+  DeployImageBytes(flow, linked.Serialize(), hook, NextVersionFor(flow, hook),
+                   std::move(done), nullptr);
+}
+
+// ---- composed pipelines --------------------------------------------------
+
+void ControlPlane::InjectExtension(
+    CodeFlow& flow, const bpf::Program& prog, int hook,
+    std::function<void(StatusOr<InjectTrace>)> done) {
+  auto trace = std::make_shared<InjectTrace>();
+  const sim::SimTime t0 = events_.Now();
+  const bool cached =
+      ebpf_cache_.count(ProgramFingerprint(prog)) != 0;
+  trace->compile_cache_hit = cached;
+
+  ValidateCode(prog, [this, &flow, prog, hook, done = std::move(done), trace,
+                      t0](Status s) mutable {
+    if (!s.ok()) {
+      done(s);
+      return;
+    }
+    trace->validate = events_.Now() - t0;
+    const sim::SimTime t1 = events_.Now();
+    JitCompileCode(prog, [this, &flow, prog, hook, done = std::move(done),
+                          trace, t0, t1](
+                             StatusOr<const bpf::JitImage*> image) mutable {
+      if (!image.ok()) {
+        done(image.status());
+        return;
+      }
+      trace->jit = events_.Now() - t1;
+      // Deploy any XStates the program declares but the node lacks.
+      auto deploy_next = std::make_shared<std::function<void(std::size_t)>>();
+      const bpf::JitImage* img = image.value();
+      *deploy_next = [this, &flow, img, prog, hook, done = std::move(done),
+                      trace, t0, deploy_next](std::size_t i) mutable {
+        const sim::SimTime tx0 = events_.Now();
+        while (i < prog.maps.size() &&
+               flow.xstate_addrs_.count(prog.maps[i].name) != 0) {
+          ++i;
+        }
+        if (i < prog.maps.size()) {
+          DeployXState(flow, prog.maps[i],
+                       [deploy_next, i, done, trace, tx0,
+                        this](StatusOr<std::uint64_t> addr) mutable {
+                         if (!addr.ok()) {
+                           done(addr.status());
+                           return;
+                         }
+                         trace->xstate += events_.Now() - tx0;
+                         (*deploy_next)(i + 1);
+                       });
+          return;
+        }
+        // Link, then deploy.
+        const sim::SimTime t2 = events_.Now();
+        LinkCode(flow, *img, [this, &flow, hook, done = std::move(done),
+                              trace, t0, t2](
+                                 StatusOr<bpf::JitImage> linked) mutable {
+          if (!linked.ok()) {
+            done(linked.status());
+            return;
+          }
+          trace->link = events_.Now() - t2;
+          const std::uint64_t version = NextVersionFor(flow, hook);
+          Bytes wire = linked->Serialize();
+          trace->image_bytes = wire.size();
+          DeployImageBytes(flow, std::move(wire), hook, version,
+                           [done = std::move(done), trace, t0,
+                            this](Status s2) mutable {
+                             if (!s2.ok()) {
+                               done(s2);
+                               return;
+                             }
+                             trace->total = events_.Now() - t0;
+                             done(*trace);
+                           },
+                           trace.get());
+        });
+      };
+      (*deploy_next)(0);
+    });
+  });
+}
+
+void ControlPlane::InjectWasmFilter(
+    CodeFlow& flow, const wasm::FilterModule& module, int hook,
+    std::function<void(StatusOr<InjectTrace>)> done) {
+  auto trace = std::make_shared<InjectTrace>();
+  const sim::SimTime t0 = events_.Now();
+  trace->compile_cache_hit = wasm_cache_.count(WasmFingerprint(module)) != 0;
+
+  ValidateWasm(module, [this, &flow, module, hook, done = std::move(done),
+                        trace, t0](Status s) mutable {
+    if (!s.ok()) {
+      done(s);
+      return;
+    }
+    trace->validate = events_.Now() - t0;
+    const sim::SimTime t1 = events_.Now();
+    CompileWasm(module, [this, &flow, hook, done = std::move(done), trace, t0,
+                         t1](StatusOr<const wasm::WasmImage*> image) mutable {
+      if (!image.ok()) {
+        done(image.status());
+        return;
+      }
+      trace->jit = events_.Now() - t1;
+      const sim::SimTime t2 = events_.Now();
+      LinkWasm(flow, *image.value(),
+               [this, &flow, hook, done = std::move(done), trace, t0,
+                t2](StatusOr<wasm::WasmImage> linked) mutable {
+                 if (!linked.ok()) {
+                   done(linked.status());
+                   return;
+                 }
+                 trace->link = events_.Now() - t2;
+                 Bytes wire = linked->Serialize();
+                 trace->image_bytes = wire.size();
+                 DeployImageBytes(flow, std::move(wire), hook,
+                                  NextVersionFor(flow, hook),
+                                  [done = std::move(done), trace, t0,
+                                   this](Status s2) mutable {
+                                    if (!s2.ok()) {
+                                      done(s2);
+                                      return;
+                                    }
+                                    trace->total = events_.Now() - t0;
+                                    done(*trace);
+                                  },
+                                  trace.get());
+               });
+    });
+  });
+}
+
+void ControlPlane::Rollback(CodeFlow& flow, int hook, Done done) {
+  auto it = flow.hooks_.find(hook);
+  if (it == flow.hooks_.end() || it->second.desc_history.empty()) {
+    done(FailedPrecondition("no previous version to roll back to"));
+    return;
+  }
+  const std::uint64_t prev_desc = it->second.desc_history.back();
+  it->second.desc_history.pop_back();
+  CommitHook(flow, hook, prev_desc, [&flow, hook, prev_desc,
+                                     done = std::move(done),
+                                     this](Status s) mutable {
+    if (!s.ok()) {
+      done(s);
+      return;
+    }
+    auto& deployment = flow.hooks_[hook];
+    deployment.desc_addr = prev_desc;
+    // Recover the rolled-back version for introspection.
+    deployment.version = flow.sandbox->CommittedVersion(hook);
+    done(OkStatus());
+  });
+}
+
+void ControlPlane::Detach(CodeFlow& flow, int hook, Done done) {
+  CommitHook(flow, hook, 0, [&flow, hook, done = std::move(done)](Status s) {
+    if (s.ok()) flow.hooks_.erase(hook);
+    done(s);
+  });
+}
+
+}  // namespace rdx::core

@@ -1,0 +1,293 @@
+// The RDX remote control plane and the CodeFlow abstraction (Table 1 of
+// the paper). One ControlPlane instance runs on a dedicated node; it
+// holds a CodeFlow handle per managed sandbox and performs every step of
+// the extension life cycle *remotely*:
+//
+//   rdx_create_codeflow   CreateCodeFlow()   connect a QP, RDMA-read the
+//                                            control block + symbol table
+//   rdx_validate_code     ValidateCode()     verifier on the CP's CPU
+//   rdx_JIT_compile_code  JitCompileCode()   cross-"arch" JIT + compile
+//                                            cache keyed by fingerprint
+//   rdx_link_code         LinkCode()         patch map relocations with
+//                                            node-local XState addresses,
+//                                            check helper/host symbols
+//   rdx_deploy_prog       DeployProg()       scratchpad FETCH_ADD alloc,
+//                                            chunked RDMA WRITEs, ImageDesc,
+//                                            atomic qword commit (rdx_tx)
+//   rdx_deploy_xstate     DeployXState()     Meta-XState allocation (§3.4)
+//   rdx_tx                Tx()               shadow write + qword swap
+//   rdx_cc_event          CcEvent()          injected cacheline flush
+//   rdx_mutual_excl       Lock()/Unlock()    RDMA CAS sandbox lock
+//   rdx_broadcast         (core/broadcast.h) collective CodeFlow + BBU
+//
+// All operations are asynchronous over the event queue and report through
+// completion callbacks; the fabric, not wall-clock threads, provides
+// concurrency.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "bpf/jit.h"
+#include "bpf/verifier.h"
+#include "core/sandbox.h"
+#include "rdma/fabric.h"
+#include "sim/cost_model.h"
+#include "sim/cpu.h"
+#include "wasm/filter.h"
+
+namespace rdx::core {
+
+struct ControlPlaneConfig {
+  sim::CostModel cost;
+  // Commit through the transactional shadow + qword-swap path. Disabling
+  // reproduces "vanilla RDMA" (in-place overwrite, torn reads possible).
+  bool use_tx = true;
+  // Inject a cache-coherent flush after commits (rdx_cc_event). Without
+  // it the data-plane CPU discovers updates only by cache eviction.
+  bool use_cc_event = true;
+  // Acquire the sandbox lock (rdx_mutual_excl) around commits.
+  bool use_lock = false;
+  // Max payload per RDMA WRITE work request.
+  std::uint32_t chunk_bytes = 256 * 1024;
+  // Keyed MAC written into each ImageDesc (integrity, §5). 0 disables.
+  std::uint64_t signing_key = 0;
+};
+
+// Phase timings of one full injection, for the Fig 4b breakdown.
+struct InjectTrace {
+  sim::Duration validate = 0;
+  sim::Duration jit = 0;
+  sim::Duration link = 0;
+  sim::Duration xstate = 0;
+  sim::Duration transfer = 0;  // alloc + image + desc writes
+  sim::Duration commit = 0;    // qword swap + flush
+  sim::Duration total = 0;
+  bool compile_cache_hit = false;
+  std::uint64_t image_bytes = 0;
+  std::uint64_t version = 0;
+};
+
+// A CodeFlow: the control plane's handle onto one remote sandbox.
+class CodeFlow {
+ public:
+  rdma::NodeId node() const { return node_; }
+  const ControlBlockView& remote_view() const { return remote_view_; }
+  // Looks up an exported symbol (helper / host function) on the target.
+  StatusOr<std::uint64_t> Symbol(std::uint64_t hash) const;
+  // Node-local address of the XState deployed for `map_slot` of the most
+  // recent LinkCode target (slot -> address registry).
+  const std::unordered_map<std::string, std::uint64_t>& xstates() const {
+    return xstate_addrs_;
+  }
+  std::uint64_t epoch() const { return epoch_; }
+  // Last committed update generation of a hook (0 = never deployed).
+  std::uint64_t HookVersion(int hook) const {
+    auto it = hooks_.find(hook);
+    return it == hooks_.end() ? 0 : it->second.version;
+  }
+
+ private:
+  friend class ControlPlane;
+  friend class CollectiveCodeFlow;
+  friend class Inspector;
+  rdma::NodeId node_ = rdma::kInvalidNode;
+  Sandbox* sandbox = nullptr;  // simulation-side backref for visibility
+  rdma::QueuePair* qp = nullptr;
+  rdma::CompletionQueue* cq = nullptr;
+  rdma::MemoryKey rkey = 0;
+  ControlBlockView remote_view_;
+  std::unordered_map<std::uint64_t, std::uint64_t> symbols_;
+  std::unordered_map<std::string, std::uint64_t> xstate_addrs_;
+  // Per-hook deployment bookkeeping.
+  struct HookDeployment {
+    std::uint64_t desc_addr = 0;
+    std::uint64_t image_addr = 0;
+    std::uint64_t region_capacity = 0;
+    std::uint64_t version = 0;
+    // Version history for rollback (desc addresses stay valid in the
+    // scratchpad until torn down).
+    std::vector<std::uint64_t> desc_history;
+  };
+  std::unordered_map<int, HookDeployment> hooks_;
+  std::uint32_t next_meta_slot_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+class ControlPlane {
+ public:
+  using Done = std::function<void(Status)>;
+
+  // `self` must be a node in the fabric (the control plane's own server);
+  // its DRAM provides staging buffers and READ landing zones.
+  ControlPlane(sim::EventQueue& events, rdma::Fabric& fabric,
+               rdma::NodeId self, ControlPlaneConfig config = {});
+
+  // ---- CodeFlow lifecycle ----
+  void CreateCodeFlow(Sandbox& sandbox, const Sandbox::Registration& reg,
+                      std::function<void(StatusOr<CodeFlow*>)> done);
+
+  // ---- compile pipeline (control-plane CPU) ----
+  // Verifies `prog`, charging the control plane's CPU. Results cached.
+  void ValidateCode(const bpf::Program& prog, Done done);
+  // JIT-compiles (or returns the cached image for) `prog`.
+  void JitCompileCode(const bpf::Program& prog,
+                      std::function<void(StatusOr<const bpf::JitImage*>)> done);
+  // Wasm pipeline equivalents.
+  void ValidateWasm(const wasm::FilterModule& module, Done done);
+  void CompileWasm(const wasm::FilterModule& module,
+                   std::function<void(StatusOr<const wasm::WasmImage*>)> done);
+
+  // ---- link + deploy ----
+  // Resolves the image's relocations against `flow`'s symbol table and
+  // XState registry (maps are deployed on demand). Returns a linked copy.
+  void LinkCode(CodeFlow& flow, const bpf::JitImage& image,
+                std::function<void(StatusOr<bpf::JitImage>)> done);
+  void LinkWasm(CodeFlow& flow, const wasm::WasmImage& image,
+                std::function<void(StatusOr<wasm::WasmImage>)> done);
+
+  // Deploys a *linked* image to `hook` and commits it.
+  void DeployProg(CodeFlow& flow, const bpf::JitImage& linked, int hook,
+                  Done done);
+  void DeployWasm(CodeFlow& flow, const wasm::WasmImage& linked, int hook,
+                  Done done);
+  // Allocates + formats an XState instance on the remote node (§3.4).
+  void DeployXState(CodeFlow& flow, const bpf::MapSpec& spec,
+                    std::function<void(StatusOr<std::uint64_t>)> done);
+
+  // ---- remote XState access (control-plane side) ----
+  void XStateLookup(CodeFlow& flow, std::uint64_t xstate_addr, Bytes key,
+                    std::function<void(StatusOr<Bytes>)> done);
+  void XStateUpdate(CodeFlow& flow, std::uint64_t xstate_addr, Bytes key,
+                    Bytes value, Done done);
+
+  // Copies a live XState instance between nodes (read from src, write to
+  // dst) — the state-transfer half of extension live migration (§4).
+  // `dst_addr` must hold an XState of identical geometry.
+  void CopyXState(CodeFlow& src, std::uint64_t src_addr, CodeFlow& dst,
+                  std::uint64_t dst_addr, Done done);
+
+  // Reads an entire remote XState and returns its (key, value) pairs —
+  // the agentless equivalent of the per-node map-dump polling whose CPU
+  // tax the Redis experiment quantifies.
+  void XStateDump(CodeFlow& flow, std::uint64_t xstate_addr,
+                  std::function<void(
+                      StatusOr<std::vector<std::pair<Bytes, Bytes>>>)>
+                      done);
+
+  // Streaming telemetry: drains a remote ring-buffer XState — reads the
+  // ring over RDMA, decodes complete records, and advances the remote
+  // tail with an 8-byte write. This is the agentless replacement for the
+  // per-node polling daemon whose CPU tax the Redis experiment measures:
+  // the extension produces records locally; the control plane consumes
+  // them with zero data-plane cycles.
+  void XStateRingConsume(CodeFlow& flow, std::uint64_t xstate_addr,
+                         std::function<void(StatusOr<std::vector<Bytes>>)>
+                             done);
+
+  // ---- sync primitives (§3.5) ----
+  // Remote transaction: land `payload` at a fresh scratchpad address,
+  // then swap the 8-byte word at `qword_addr` to `qword_value`.
+  void Tx(CodeFlow& flow, Bytes payload, std::uint64_t qword_addr,
+          std::uint64_t qword_value,
+          std::function<void(StatusOr<std::uint64_t>)> done);
+  // Cache-coherence event: flush the data-plane CPU's view of `hook`.
+  void CcEvent(CodeFlow& flow, int hook, Done done);
+  // Sandbox-level mutual exclusion via RDMA CAS on the lock word.
+  void Lock(CodeFlow& flow, std::uint64_t owner, Done done);
+  void Unlock(CodeFlow& flow, std::uint64_t owner, Done done);
+
+  // ---- two-phase deploy (used by rdx_broadcast) ----
+  // Phase 1: land image + ImageDesc in the remote scratchpad, no commit.
+  struct PreparedImage {
+    std::uint64_t desc_addr = 0;
+    std::uint64_t image_addr = 0;
+    std::uint64_t image_len = 0;
+    std::uint64_t region_capacity = 0;
+    std::uint64_t version = 0;
+  };
+  void PrepareImage(CodeFlow& flow, Bytes image_bytes, std::uint64_t version,
+                    std::function<void(StatusOr<PreparedImage>)> done);
+  // Phase 2: atomically swing the hook slot to the prepared desc.
+  void CommitPrepared(CodeFlow& flow, int hook, const PreparedImage& prepared,
+                      Done done);
+
+  // ---- composed pipelines ----
+  // Full injection: validate -> JIT (cached) -> deploy XState -> link ->
+  // deploy -> commit (+flush). The paper's rdx_* calls in one flow.
+  void InjectExtension(CodeFlow& flow, const bpf::Program& prog, int hook,
+                       std::function<void(StatusOr<InjectTrace>)> done);
+  void InjectWasmFilter(CodeFlow& flow, const wasm::FilterModule& module,
+                        int hook,
+                        std::function<void(StatusOr<InjectTrace>)> done);
+  // Reverts `hook` to its previous committed version in microseconds
+  // (desc re-commit; no re-transfer). §4 "rollback and hot-patching".
+  void Rollback(CodeFlow& flow, int hook, Done done);
+  // Detach: commit 0 into the hook slot.
+  void Detach(CodeFlow& flow, int hook, Done done);
+
+  // ---- accessors ----
+  sim::EventQueue& events() { return events_; }
+  rdma::Fabric& fabric() { return fabric_; }
+  const ControlPlaneConfig& config() const { return config_; }
+  ControlPlaneConfig& mutable_config() { return config_; }
+  sim::CpuScheduler& cpu() { return cpu_; }
+  std::uint64_t compile_cache_hits() const { return cache_hits_; }
+  std::uint64_t compile_cache_misses() const { return cache_misses_; }
+
+ private:
+  friend class Inspector;
+  struct PendingOp {
+    std::function<void(const rdma::WorkCompletion&)> on_complete;
+  };
+
+  // Posts a WR on the flow's QP; `done` fires with the completion.
+  void Post(CodeFlow& flow, rdma::SendWr wr,
+            std::function<void(const rdma::WorkCompletion&)> done);
+  // Allocates `bytes` in the remote scratchpad via FETCH_ADD on brk.
+  void RemoteAlloc(CodeFlow& flow, std::uint64_t bytes,
+                   std::function<void(StatusOr<std::uint64_t>)> done);
+  // Writes `payload` to `remote_addr` in chunks; done after the last WR.
+  void WriteChunked(CodeFlow& flow, Bytes payload, std::uint64_t remote_addr,
+                    Done done);
+  // Commits desc_addr into the hook slot and schedules CPU visibility.
+  void CommitHook(CodeFlow& flow, int hook, std::uint64_t desc_addr,
+                  Done done);
+  // Allocates an 8-byte landing buffer in local DRAM for READ/atomics.
+  StatusOr<std::uint64_t> LocalScratch(std::uint64_t bytes);
+
+  void DeployImageBytes(CodeFlow& flow, Bytes image_bytes, int hook,
+                        std::uint64_t version, Done done,
+                        InjectTrace* trace);
+
+  sim::EventQueue& events_;
+  rdma::Fabric& fabric_;
+  rdma::NodeId self_;
+  ControlPlaneConfig config_;
+  sim::CpuScheduler cpu_;
+  rdma::CompletionQueue* cq_ = nullptr;
+  rdma::MemoryRegion local_mr_;
+  std::uint64_t arena_cursor_ = 0;
+
+  std::vector<std::unique_ptr<CodeFlow>> flows_;
+  std::unordered_map<std::uint64_t, PendingOp> pending_;
+  std::uint64_t next_wr_id_ = 1;
+
+  // Compile caches: program fingerprint -> image.
+  std::unordered_map<std::uint64_t, bpf::JitImage> ebpf_cache_;
+  std::unordered_map<std::uint64_t, wasm::WasmImage> wasm_cache_;
+  std::unordered_map<std::uint64_t, bool> verify_cache_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+};
+
+// Fingerprint of a source program (pre-JIT), used for the verify/compile
+// caches.
+std::uint64_t ProgramFingerprint(const bpf::Program& prog);
+std::uint64_t WasmFingerprint(const wasm::FilterModule& module);
+
+}  // namespace rdx::core

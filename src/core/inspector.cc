@@ -1,0 +1,161 @@
+#include "core/inspector.h"
+
+#include "core/gatekeeper.h"
+
+namespace rdx::core {
+
+void Inspector::Inspect(CodeFlow& flow, int hook,
+                        std::function<void(StatusOr<InspectReport>)> done) {
+  // Control-plane bookkeeping to check against.
+  std::uint64_t expected_desc = 0;
+  std::uint64_t expected_version = 0;
+  if (auto it = flow.hooks_.find(hook); it != flow.hooks_.end()) {
+    expected_desc = it->second.desc_addr;
+    expected_version = it->second.version;
+  }
+
+  // Step 1: read the hook slot.
+  auto slot_buf = cp_.LocalScratch(8);
+  if (!slot_buf.ok()) {
+    done(slot_buf.status());
+    return;
+  }
+  rdma::SendWr read_slot;
+  read_slot.opcode = rdma::Opcode::kRead;
+  read_slot.local = {slot_buf.value(), 8, cp_.local_mr_.lkey};
+  read_slot.remote_addr =
+      flow.remote_view_.hook_table_addr + static_cast<std::uint64_t>(hook) * 8;
+  read_slot.rkey = flow.rkey;
+  cp_.Post(flow, read_slot, [this, &flow, hook, expected_desc,
+                             expected_version, slot_buf = slot_buf.value(),
+                             done = std::move(done)](
+                                const rdma::WorkCompletion& wc) mutable {
+    if (wc.status != rdma::WcStatus::kSuccess) {
+      done(Unavailable("hook slot read failed"));
+      return;
+    }
+    auto& mem = cp_.fabric_.node(cp_.self_).memory();
+    const std::uint64_t desc_addr = mem.ReadU64(slot_buf).value();
+    InspectReport report;
+    report.hook = hook;
+    report.deployed = desc_addr != 0;
+    report.desc_matches = desc_addr == expected_desc;
+    if (desc_addr == 0) {
+      done(report);
+      return;
+    }
+
+    // Step 2: read the ImageDesc.
+    auto desc_buf = cp_.LocalScratch(kImageDescBytes);
+    if (!desc_buf.ok()) {
+      done(desc_buf.status());
+      return;
+    }
+    rdma::SendWr read_desc;
+    read_desc.opcode = rdma::Opcode::kRead;
+    read_desc.local = {desc_buf.value(), kImageDescBytes, cp_.local_mr_.lkey};
+    read_desc.remote_addr = desc_addr;
+    read_desc.rkey = flow.rkey;
+    cp_.Post(flow, read_desc, [this, &flow, report, expected_version,
+                               desc_buf = desc_buf.value(),
+                               done = std::move(done)](
+                                  const rdma::WorkCompletion& wc2) mutable {
+      if (wc2.status != rdma::WcStatus::kSuccess) {
+        done(Unavailable("ImageDesc read failed"));
+        return;
+      }
+      auto& mem = cp_.fabric_.node(cp_.self_).memory();
+      const std::uint64_t image_addr =
+          mem.ReadU64(desc_buf + kDescImageAddr).value();
+      const std::uint64_t image_len =
+          mem.ReadU64(desc_buf + kDescImageLen).value();
+      const std::uint64_t version =
+          mem.ReadU64(desc_buf + kDescVersion).value();
+      const std::uint64_t signature =
+          mem.ReadU64(desc_buf + kDescSignature).value();
+      report.observed_version = version;
+      report.observed_image_len = image_len;
+      report.version_matches = version == expected_version;
+      if (image_len == 0 || image_len > (64u << 20)) {
+        done(report);  // implausible length: checksum_ok stays false
+        return;
+      }
+
+      // Step 3: read the image bytes and verify.
+      auto image_buf = cp_.LocalScratch(image_len);
+      if (!image_buf.ok()) {
+        done(image_buf.status());
+        return;
+      }
+      rdma::SendWr read_image;
+      read_image.opcode = rdma::Opcode::kRead;
+      read_image.local = {image_buf.value(),
+                          static_cast<std::uint32_t>(image_len),
+                          cp_.local_mr_.lkey};
+      read_image.remote_addr = image_addr;
+      read_image.rkey = flow.rkey;
+      cp_.Post(flow, read_image, [this, report, image_len, signature,
+                                  image_buf = image_buf.value(),
+                                  done = std::move(done)](
+                                     const rdma::WorkCompletion& wc3) mutable {
+        if (wc3.status != rdma::WcStatus::kSuccess) {
+          done(Unavailable("image read failed"));
+          return;
+        }
+        auto& mem = cp_.fabric_.node(cp_.self_).memory();
+        Bytes image(image_len);
+        (void)mem.Read(image_buf, image);
+        if (image.size() >= 4) {
+          const std::uint32_t magic = LoadLE<std::uint32_t>(image.data());
+          if (magic == 0x4a584452u) {
+            report.checksum_ok = bpf::JitImage::Deserialize(image).ok();
+          } else if (magic == 0x46574452u) {
+            report.checksum_ok = wasm::WasmImage::Deserialize(image).ok();
+          }
+        }
+        if (cp_.config().signing_key != 0) {
+          report.signature_ok = VerifyImageSignature(
+              image, cp_.config().signing_key, signature);
+        }
+        done(report);
+      });
+    });
+  });
+}
+
+void Inspector::Sweep(
+    CodeFlow& flow,
+    std::function<void(StatusOr<std::vector<InspectReport>>)> done) {
+  std::vector<int> hooks;
+  for (const auto& [hook, deployment] : flow.hooks_) {
+    if (deployment.desc_addr != 0) hooks.push_back(hook);
+  }
+  auto unhealthy = std::make_shared<std::vector<InspectReport>>();
+  auto remaining = std::make_shared<std::size_t>(hooks.size());
+  auto first_error = std::make_shared<Status>();
+  if (hooks.empty()) {
+    done(std::vector<InspectReport>{});
+    return;
+  }
+  const bool signing = cp_.config().signing_key != 0;
+  for (int hook : hooks) {
+    Inspect(flow, hook,
+            [unhealthy, remaining, first_error, signing,
+             done](StatusOr<InspectReport> report) {
+              if (!report.ok()) {
+                if (first_error->ok()) *first_error = report.status();
+              } else if (!report->Healthy(signing)) {
+                unhealthy->push_back(report.value());
+              }
+              if (--*remaining == 0) {
+                if (!first_error->ok()) {
+                  done(*first_error);
+                } else {
+                  done(std::move(*unhealthy));
+                }
+              }
+            });
+  }
+}
+
+}  // namespace rdx::core

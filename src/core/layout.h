@@ -1,0 +1,86 @@
+// On-node memory layout that the management stubs publish at boot and the
+// remote control plane manipulates over RDMA. Everything the control
+// plane touches is a fixed-offset word in one of these structures — this
+// file is the wire contract between ctx_init/ctx_register (§3.1) and the
+// CodeFlow implementation.
+//
+//   ControlBlock ("mgmt stub" root, one per sandbox, RDMA-registered):
+//     +0x00 magic            "RDXCB\0\0\1"
+//     +0x08 epoch            bumped on every committed update
+//     +0x10 lock             rdx_mutual_excl word (0 free / owner id)
+//     +0x18 hook_table_addr  -> u64[hook_count], each an ImageDesc addr
+//     +0x20 hook_count
+//     +0x28 meta_xstate_addr -> u64[meta_capacity] XState directory
+//     +0x30 meta_capacity
+//     +0x38 scratch_addr     extension scratchpad (images, descs, XState)
+//     +0x40 scratch_size
+//     +0x48 scratch_brk      bump cursor, advanced remotely via FETCH_ADD
+//     +0x50 symtab_addr      serialized symbol table (the exposed GOT)
+//     +0x58 symtab_len
+//     +0x60 doorbell         rdx_cc_event flush-trigger word
+//
+//   ImageDesc (16-aligned, in the scratchpad):
+//     +0x00 image_addr   +0x08 image_len
+//     +0x10 version      +0x18 refcount    +0x20 signature
+//
+//   Hook slot: one u64 = address of the active ImageDesc (0 = detached).
+//   Commit is a single qword write/CAS of this slot — that is what makes
+//   rdx_tx atomic with respect to concurrently executing requests.
+//
+//   Symbol table: u32 count, then {u64 name_hash, u64 value} entries.
+#pragma once
+
+#include <cstdint>
+
+namespace rdx::core {
+
+constexpr std::uint64_t kControlBlockMagic = 0x0100424358445221ULL;
+
+// ControlBlock field offsets.
+constexpr std::uint64_t kCbMagic = 0x00;
+constexpr std::uint64_t kCbEpoch = 0x08;
+constexpr std::uint64_t kCbLock = 0x10;
+constexpr std::uint64_t kCbHookTableAddr = 0x18;
+constexpr std::uint64_t kCbHookCount = 0x20;
+constexpr std::uint64_t kCbMetaXstateAddr = 0x28;
+constexpr std::uint64_t kCbMetaCapacity = 0x30;
+constexpr std::uint64_t kCbScratchAddr = 0x38;
+constexpr std::uint64_t kCbScratchSize = 0x40;
+constexpr std::uint64_t kCbScratchBrk = 0x48;
+constexpr std::uint64_t kCbSymtabAddr = 0x50;
+constexpr std::uint64_t kCbSymtabLen = 0x58;
+// Doorbell word targeted by rdx_cc_event's injected flush trigger.
+constexpr std::uint64_t kCbDoorbell = 0x60;
+constexpr std::uint64_t kControlBlockBytes = 0x68;
+
+// ImageDesc field offsets.
+constexpr std::uint64_t kDescImageAddr = 0x00;
+constexpr std::uint64_t kDescImageLen = 0x08;
+constexpr std::uint64_t kDescVersion = 0x10;
+constexpr std::uint64_t kDescRefcount = 0x18;
+// Keyed MAC over the image bytes (0 when signing is disabled); see
+// core/gatekeeper.h.
+constexpr std::uint64_t kDescSignature = 0x20;
+constexpr std::uint64_t kImageDescBytes = 0x28;
+
+// Parsed (CPU-side) view of a ControlBlock; the control plane rebuilds
+// the same view from an RDMA read.
+struct ControlBlockView {
+  std::uint64_t cb_addr = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t hook_table_addr = 0;
+  std::uint64_t hook_count = 0;
+  std::uint64_t meta_xstate_addr = 0;
+  std::uint64_t meta_capacity = 0;
+  std::uint64_t scratch_addr = 0;
+  std::uint64_t scratch_size = 0;
+  std::uint64_t symtab_addr = 0;
+  std::uint64_t symtab_len = 0;
+};
+
+// Symbol naming scheme shared by both ends. Helpers are exported as
+// "helper:<id>", Wasm host functions as "host:<name>".
+std::uint64_t SymbolHash(const char* prefix, std::uint64_t id);
+std::uint64_t SymbolHashName(const char* prefix, const char* name);
+
+}  // namespace rdx::core

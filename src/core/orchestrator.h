@@ -1,0 +1,106 @@
+// Declarative cluster-wide extension orchestration — item (1) of the
+// paper's future-work list. Operators describe *what* should run where;
+// the orchestrator compiles that into CodeFlow operations and executes
+// them with the requested rollout strategy and consistency level.
+//
+// The language is line-oriented ("#" comments):
+//
+//   extension firewall kind=ebpf hook=0
+//   extension tagger   kind=wasm hook=1
+//   group frontend nodes=0,1,2
+//   group backend  nodes=3,4
+//   deploy firewall to=frontend strategy=broadcast consistency=bbu
+//   deploy tagger   to=backend  strategy=rolling
+//   rollback firewall from=frontend
+//   detach tagger from=backend
+//
+// Strategies: broadcast (collective prepare + parallel commit; with
+// consistency=bbu requests are buffered across the commit window),
+// rolling (one node at a time, dependency-safe), parallel (all nodes at
+// once, eventual consistency — the agent-like mode, for comparison).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/broadcast.h"
+
+namespace rdx::core {
+
+enum class RolloutStrategy : std::uint8_t { kBroadcast, kRolling, kParallel };
+enum class ConsistencyLevel : std::uint8_t { kEventual, kBbu };
+enum class ActionKind : std::uint8_t { kDeploy, kRollback, kDetach };
+
+struct ExtensionDecl {
+  std::string name;
+  bool is_wasm = false;
+  int hook = 0;
+};
+
+struct GroupDecl {
+  std::string name;
+  std::vector<std::size_t> nodes;
+};
+
+struct Action {
+  ActionKind kind;
+  std::string extension;
+  std::string group;
+  RolloutStrategy strategy = RolloutStrategy::kBroadcast;
+  ConsistencyLevel consistency = ConsistencyLevel::kEventual;
+};
+
+struct OrchestrationPlan {
+  std::unordered_map<std::string, ExtensionDecl> extensions;
+  std::unordered_map<std::string, GroupDecl> groups;
+  std::vector<Action> actions;
+};
+
+// Parses the DSL. Errors carry the offending line number.
+StatusOr<OrchestrationPlan> ParseOrchestration(std::string_view text);
+
+struct OrchestrationReport {
+  std::size_t actions_executed = 0;
+  sim::Duration total = 0;
+  std::vector<std::string> log;  // one human-readable line per action
+};
+
+// Binds a plan to a concrete cluster and runs it.
+class Orchestrator {
+ public:
+  explicit Orchestrator(ControlPlane& cp) : cp_(cp) {}
+
+  // Cluster inventory: node index in `group ... nodes=` refers to the
+  // order of registration here.
+  void RegisterNode(CodeFlow* flow) { flows_.push_back(flow); }
+  // Artifact registry (the "filter registry" of §4): programs and
+  // filters the plan may reference by name.
+  void RegisterProgram(std::string name, bpf::Program prog);
+  void RegisterFilter(std::string name, wasm::FilterModule module);
+
+  // Static checks without touching the cluster: unknown extension/group
+  // references, node indices out of range, hooks out of range.
+  Status ValidatePlan(const OrchestrationPlan& plan) const;
+
+  // Executes actions sequentially (each action's nodes in the strategy's
+  // order). `barrier` enables consistency=bbu actions to buffer traffic.
+  void Execute(const OrchestrationPlan& plan, UpdateBarrier* barrier,
+               std::function<void(StatusOr<OrchestrationReport>)> done);
+
+ private:
+  void RunAction(const OrchestrationPlan& plan, std::size_t index,
+                 UpdateBarrier* barrier,
+                 std::shared_ptr<OrchestrationReport> report,
+                 std::function<void(StatusOr<OrchestrationReport>)> done,
+                 sim::SimTime t0);
+
+  ControlPlane& cp_;
+  std::vector<CodeFlow*> flows_;
+  std::unordered_map<std::string, bpf::Program> programs_;
+  std::unordered_map<std::string, wasm::FilterModule> filters_;
+};
+
+}  // namespace rdx::core

@@ -1,0 +1,350 @@
+#include "core/sandbox.h"
+
+#include "common/log.h"
+#include "core/gatekeeper.h"
+
+namespace rdx::core {
+
+std::uint64_t SymbolHash(const char* prefix, std::uint64_t id) {
+  Bytes key;
+  for (const char* p = prefix; *p; ++p) key.push_back(*p);
+  AppendLE<std::uint64_t>(key, id);
+  return Fnv1a64(key);
+}
+
+std::uint64_t SymbolHashName(const char* prefix, const char* name) {
+  Bytes key;
+  for (const char* p = prefix; *p; ++p) key.push_back(*p);
+  for (const char* p = name; *p; ++p) key.push_back(*p);
+  return Fnv1a64(key);
+}
+
+Sandbox::Sandbox(sim::EventQueue& events, rdma::Node& node,
+                 SandboxConfig config)
+    : events_(events),
+      node_(node),
+      config_(std::move(config)),
+      mem_space_(node.memory()),
+      rng_(config_.seed),
+      cache_(config_.cache) {
+  rt_.mem = &mem_space_;
+  rt_.rng = &rng_;
+  rt_.ktime_ns = [this] {
+    return static_cast<std::uint64_t>(events_.Now());
+  };
+}
+
+StatusOr<std::uint64_t> Sandbox::ReadWord(std::uint64_t addr) const {
+  return node_.memory().ReadU64(addr);
+}
+
+Status Sandbox::WriteWord(std::uint64_t addr, std::uint64_t value) {
+  return node_.memory().WriteU64(addr, value);
+}
+
+void Sandbox::BuildSymbolTable(Bytes& out) const {
+  struct Entry {
+    std::uint64_t hash;
+    std::uint64_t value;
+  };
+  std::vector<Entry> entries;
+  // eBPF helpers available in this sandbox.
+  static constexpr std::int32_t kExported[] = {
+      bpf::kHelperMapLookupElem, bpf::kHelperMapUpdateElem,
+      bpf::kHelperMapDeleteElem, bpf::kHelperKtimeGetNs,
+      bpf::kHelperTracePrintk,   bpf::kHelperGetPrandomU32,
+      bpf::kHelperGetSmpProcessorId, bpf::kHelperRingbufOutput};
+  for (std::int32_t id : kExported) {
+    entries.push_back({SymbolHash("helper:", static_cast<std::uint64_t>(id)),
+                       static_cast<std::uint64_t>(id)});
+  }
+  // Wasm host functions, value = index in this sandbox's host table.
+  for (std::size_t i = 0; i < config_.wasm_host_fns.size(); ++i) {
+    entries.push_back({SymbolHashName("host:", config_.wasm_host_fns[i].c_str()),
+                       static_cast<std::uint64_t>(i)});
+  }
+  AppendLE<std::uint32_t>(out, static_cast<std::uint32_t>(entries.size()));
+  for (const Entry& e : entries) {
+    AppendLE<std::uint64_t>(out, e.hash);
+    AppendLE<std::uint64_t>(out, e.value);
+  }
+}
+
+Status Sandbox::CtxInit() {
+  if (booted_) return FailedPrecondition("sandbox already booted");
+  auto& mem = node_.memory();
+
+  RDX_ASSIGN_OR_RETURN(view_.cb_addr, mem.Allocate(kControlBlockBytes, 64));
+  RDX_ASSIGN_OR_RETURN(view_.hook_table_addr,
+                       mem.Allocate(config_.hook_count * 8ull, 64));
+  view_.hook_count = config_.hook_count;
+  RDX_ASSIGN_OR_RETURN(view_.meta_xstate_addr,
+                       mem.Allocate(config_.meta_capacity * 8ull, 64));
+  view_.meta_capacity = config_.meta_capacity;
+
+  Bytes symtab;
+  BuildSymbolTable(symtab);
+  RDX_ASSIGN_OR_RETURN(view_.symtab_addr, mem.Allocate(symtab.size(), 64));
+  view_.symtab_len = symtab.size();
+  RDX_RETURN_IF_ERROR(mem.Write(view_.symtab_addr, symtab));
+
+  RDX_ASSIGN_OR_RETURN(ctx_buf_addr_, mem.Allocate(256, 64));
+  RDX_ASSIGN_OR_RETURN(stack_addr_, mem.Allocate(bpf::kStackSize, 64));
+
+  RDX_ASSIGN_OR_RETURN(view_.scratch_addr,
+                       mem.Allocate(config_.scratch_bytes, 4096));
+  view_.scratch_size = config_.scratch_bytes;
+
+  // Publish the control block.
+  RDX_RETURN_IF_ERROR(WriteWord(view_.cb_addr + kCbMagic, kControlBlockMagic));
+  RDX_RETURN_IF_ERROR(WriteWord(view_.cb_addr + kCbEpoch, 0));
+  RDX_RETURN_IF_ERROR(WriteWord(view_.cb_addr + kCbLock, 0));
+  RDX_RETURN_IF_ERROR(
+      WriteWord(view_.cb_addr + kCbHookTableAddr, view_.hook_table_addr));
+  RDX_RETURN_IF_ERROR(WriteWord(view_.cb_addr + kCbHookCount,
+                                view_.hook_count));
+  RDX_RETURN_IF_ERROR(
+      WriteWord(view_.cb_addr + kCbMetaXstateAddr, view_.meta_xstate_addr));
+  RDX_RETURN_IF_ERROR(
+      WriteWord(view_.cb_addr + kCbMetaCapacity, view_.meta_capacity));
+  RDX_RETURN_IF_ERROR(WriteWord(view_.cb_addr + kCbScratchAddr,
+                                view_.scratch_addr));
+  RDX_RETURN_IF_ERROR(WriteWord(view_.cb_addr + kCbScratchSize,
+                                view_.scratch_size));
+  RDX_RETURN_IF_ERROR(WriteWord(view_.cb_addr + kCbScratchBrk,
+                                view_.scratch_addr));
+  RDX_RETURN_IF_ERROR(WriteWord(view_.cb_addr + kCbSymtabAddr,
+                                view_.symtab_addr));
+  RDX_RETURN_IF_ERROR(WriteWord(view_.cb_addr + kCbSymtabLen,
+                                view_.symtab_len));
+  RDX_RETURN_IF_ERROR(WriteWord(view_.cb_addr + kCbDoorbell, 0));
+
+  hooks_.assign(config_.hook_count, HookState{});
+  booted_ = true;
+  return OkStatus();
+}
+
+StatusOr<Sandbox::Registration> Sandbox::CtxRegister() {
+  if (!booted_) return FailedPrecondition("CtxInit must run first");
+  if (registered_) return FailedPrecondition("sandbox already registered");
+  // One region spanning the control block through the scratchpad end
+  // (CtxInit allocated them contiguously).
+  const std::uint64_t begin = view_.cb_addr;
+  const std::uint64_t end = view_.scratch_addr + view_.scratch_size;
+  RDX_ASSIGN_OR_RETURN(
+      const rdma::MemoryRegion mr,
+      node_.memory().Register(begin, end - begin,
+                              rdma::kAccessRemoteRead |
+                                  rdma::kAccessRemoteWrite |
+                                  rdma::kAccessRemoteAtomic |
+                                  rdma::kAccessLocalWrite));
+  registered_ = true;
+  return Registration{view_.cb_addr, mr.rkey};
+}
+
+Status Sandbox::CtxTeardown(int hook) {
+  if (hook < 0 || hook >= static_cast<int>(hooks_.size())) {
+    return InvalidArgument("hook out of range");
+  }
+  HookState& state = hooks_[hook];
+  if (state.visible_desc_addr == 0) {
+    return FailedPrecondition("hook already detached");
+  }
+  if (state.refcount > 0) {
+    --state.refcount;
+    if (state.refcount > 0) return OkStatus();  // still referenced
+  }
+  RDX_RETURN_IF_ERROR(WriteWord(view_.hook_table_addr + hook * 8ull, 0));
+  state = HookState{};
+  return OkStatus();
+}
+
+sim::Duration Sandbox::VisibilityDelay(bool coherent_flush) {
+  if (coherent_flush) return cache_.FlushDelay();
+  return cache_.SampleDiscoveryDelay(config_.cpki, rng_);
+}
+
+void Sandbox::RefreshHookNow(int hook) {
+  ++stats_.refreshes;
+  // The CPU re-reads the hook slot and the XState directory; failures
+  // here indicate a corrupt deployment and are surfaced on execution.
+  const auto slot = ReadWord(view_.hook_table_addr + hook * 8ull);
+  if (!slot.ok()) return;
+  HookState& state = hooks_[hook];
+  if (state.visible_desc_addr != slot.value()) {
+    state.visible_desc_addr = slot.value();
+    state.ebpf_image.reset();
+    state.wasm_image.reset();
+    state.visible_version = 0;
+    if (slot.value() != 0) {
+      const auto version = ReadWord(slot.value() + kDescVersion);
+      if (version.ok()) state.visible_version = version.value();
+      state.refcount = 1;
+    }
+  } else if (slot.value() != 0) {
+    // Same desc, possibly re-versioned in place (vanilla path).
+    const auto version = ReadWord(slot.value() + kDescVersion);
+    if (version.ok() && version.value() != state.visible_version) {
+      state.visible_version = version.value();
+      state.ebpf_image.reset();
+      state.wasm_image.reset();
+    }
+  }
+  RefreshXState();
+}
+
+void Sandbox::ScheduleHookRefresh(int hook, sim::Duration delay) {
+  events_.ScheduleAfter(delay, [this, hook] { RefreshHookNow(hook); });
+}
+
+void Sandbox::RefreshHooks() {
+  for (std::uint32_t i = 0; i < view_.hook_count; ++i) {
+    ScheduleHookRefresh(static_cast<int>(i), 0);
+  }
+}
+
+void Sandbox::RefreshXState() {
+  // Walk the Meta-XState directory and (re)register every map with the
+  // runtime so helper calls can resolve them by address.
+  for (std::uint64_t i = 0; i < view_.meta_capacity; ++i) {
+    const auto entry = ReadWord(view_.meta_xstate_addr + i * 8);
+    if (!entry.ok() || entry.value() == 0) continue;
+    const std::uint64_t addr = entry.value();
+    if (rt_.maps.count(addr) != 0) continue;
+    // The XState header is self-describing (bpf::MapHeader).
+    auto span = mem_space_.SpanAt(addr, bpf::kMapHeaderBytes);
+    if (!span.ok()) continue;
+    bpf::MapView probe(span.value());
+    auto header = probe.Header();
+    if (!header.ok()) continue;
+    bpf::MapSpec spec;
+    spec.name = "xstate_" + std::to_string(i);
+    spec.type = header->type;
+    spec.key_size = header->key_size;
+    spec.value_size = header->value_size;
+    spec.max_entries = header->max_entries;
+    rt_.maps.emplace(addr, std::move(spec));
+  }
+}
+
+std::uint64_t Sandbox::VisibleVersion(int hook) const {
+  return hooks_[hook].visible_version;
+}
+
+ImageKind Sandbox::VisibleKind(int hook) const { return hooks_[hook].kind; }
+
+std::uint64_t Sandbox::CommittedVersion(int hook) const {
+  const auto slot = ReadWord(view_.hook_table_addr + hook * 8ull);
+  if (!slot.ok() || slot.value() == 0) return 0;
+  const auto version = ReadWord(slot.value() + kDescVersion);
+  return version.ok() ? version.value() : 0;
+}
+
+Status Sandbox::LoadHookImage(int hook) {
+  HookState& state = hooks_[hook];
+  RDX_ASSIGN_OR_RETURN(const std::uint64_t image_addr,
+                       ReadWord(state.visible_desc_addr + kDescImageAddr));
+  RDX_ASSIGN_OR_RETURN(const std::uint64_t image_len,
+                       ReadWord(state.visible_desc_addr + kDescImageLen));
+  RDX_ASSIGN_OR_RETURN(MutableByteSpan raw,
+                       mem_space_.SpanAt(image_addr, image_len));
+  const ByteSpan bytes(raw.data(), raw.size());
+  if (config_.signing_key != 0) {
+    RDX_ASSIGN_OR_RETURN(
+        const std::uint64_t signature,
+        ReadWord(state.visible_desc_addr + kDescSignature));
+    if (!VerifyImageSignature(bytes, config_.signing_key, signature)) {
+      ++stats_.signature_failures;
+      return PermissionDenied("image signature verification failed");
+    }
+  }
+  // Try eBPF first, then Wasm, by magic; a checksum mismatch means this
+  // CPU raced a non-transactional remote write (torn image).
+  if (bytes.size() >= 4 && LoadLE<std::uint32_t>(bytes.data()) == 0x4a584452u) {
+    auto image = bpf::JitImage::Deserialize(bytes);
+    if (!image.ok()) {
+      ++stats_.torn_image_failures;
+      return Aborted("torn or corrupt eBPF image: " +
+                     image.status().ToString());
+    }
+    state.kind = ImageKind::kEbpf;
+    state.ebpf_image = std::move(image).value();
+    return OkStatus();
+  }
+  if (bytes.size() >= 4 && LoadLE<std::uint32_t>(bytes.data()) == 0x46574452u) {
+    auto image = wasm::WasmImage::Deserialize(bytes);
+    if (!image.ok()) {
+      ++stats_.torn_image_failures;
+      return Aborted("torn or corrupt wasm image: " +
+                     image.status().ToString());
+    }
+    state.kind = ImageKind::kWasm;
+    state.wasm_image = std::move(image).value();
+    return OkStatus();
+  }
+  ++stats_.torn_image_failures;
+  return Aborted("image with unknown magic (torn write?)");
+}
+
+StatusOr<bpf::ExecResult> Sandbox::ExecuteHook(int hook, ByteSpan packet) {
+  if (hook < 0 || hook >= static_cast<int>(hooks_.size())) {
+    return InvalidArgument("hook out of range");
+  }
+  ++stats_.executions;
+  HookState& state = hooks_[hook];
+  if (state.visible_desc_addr == 0) {
+    ++stats_.empty_hook_executions;
+    return bpf::ExecResult{1, 0};  // accept-by-default
+  }
+  if (!state.ebpf_image.has_value()) {
+    RDX_RETURN_IF_ERROR(LoadHookImage(hook));
+    if (state.kind != ImageKind::kEbpf) {
+      return FailedPrecondition("hook holds a wasm filter");
+    }
+  }
+  // Stage the packet into the ctx buffer (zero-padded to 256 bytes).
+  Bytes ctx(256, 0);
+  std::memcpy(ctx.data(), packet.data(), std::min<std::size_t>(packet.size(), 256));
+  RDX_RETURN_IF_ERROR(node_.memory().Write(ctx_buf_addr_, ctx));
+
+  bpf::ExecOptions opts;
+  opts.ctx_addr = ctx_buf_addr_;
+  opts.ctx_len = 256;
+  opts.stack_addr = stack_addr_;
+  return bpf::RunJit(*state.ebpf_image, rt_, opts);
+}
+
+StatusOr<wasm::WasmResult> Sandbox::ExecuteWasmHook(int hook,
+                                                    wasm::WasmHost& host) {
+  if (hook < 0 || hook >= static_cast<int>(hooks_.size())) {
+    return InvalidArgument("hook out of range");
+  }
+  ++stats_.executions;
+  HookState& state = hooks_[hook];
+  if (state.visible_desc_addr == 0) {
+    ++stats_.empty_hook_executions;
+    return wasm::WasmResult{1, 0};
+  }
+  if (!state.wasm_image.has_value()) {
+    RDX_RETURN_IF_ERROR(LoadHookImage(hook));
+    if (state.kind != ImageKind::kWasm) {
+      return FailedPrecondition("hook holds an eBPF program");
+    }
+  }
+  return wasm::RunFilter(*state.wasm_image, host);
+}
+
+bool Sandbox::TryLockLocal(std::uint64_t owner) {
+  const auto current = ReadWord(view_.cb_addr + kCbLock);
+  if (!current.ok() || current.value() != 0) return false;
+  return WriteWord(view_.cb_addr + kCbLock, owner).ok();
+}
+
+void Sandbox::UnlockLocal(std::uint64_t owner) {
+  const auto current = ReadWord(view_.cb_addr + kCbLock);
+  if (current.ok() && current.value() == owner) {
+    (void)WriteWord(view_.cb_addr + kCbLock, 0);
+  }
+}
+
+}  // namespace rdx::core

@@ -1,0 +1,157 @@
+// The local data plane: a sandbox hosting runtime-extension hook points
+// inside a node's simulated DRAM. The management stubs (§3.1) are the
+// only local-CPU involvement RDX needs, and they run exactly once:
+//
+//   CtxInit      lays out the control block, hook table, Meta-XState
+//                directory, symbol table (the exposed "GOT"), and the
+//                extension scratchpad in node DRAM;
+//   CtxRegister  registers that memory with the RNIC and returns the
+//                {address, rkey} pair the control plane binds a CodeFlow
+//                to;
+//   CtxTeardown  detaches a hook with reference counting.
+//
+// After boot the sandbox only *executes*: requests call ExecuteHook /
+// ExecuteWasmHook against the CPU-visible view of each hook. Everything
+// else — code injection, XState creation, version bumps — arrives from
+// the remote control plane through one-sided RDMA, and becomes visible to
+// this CPU after a cache-coherence delay (sim/cache.h) unless the control
+// plane injects an explicit flush (rdx_cc_event).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bpf/exec.h"
+#include "bpf/jit.h"
+#include "common/rng.h"
+#include "core/layout.h"
+#include "core/memspace.h"
+#include "rdma/fabric.h"
+#include "sim/cache.h"
+#include "sim/event_queue.h"
+#include "wasm/filter.h"
+
+namespace rdx::core {
+
+struct SandboxConfig {
+  std::uint32_t hook_count = 8;
+  std::uint64_t scratch_bytes = 8u << 20;
+  std::uint32_t meta_capacity = 256;
+  // Cache-miss intensity of the colocated data-path workload (CPKI);
+  // drives how quickly un-flushed RDMA writes become CPU-visible.
+  double cpki = 10.0;
+  sim::CacheConfig cache;
+  std::uint64_t seed = 1;
+  // Wasm host functions this sandbox exports, in host-table order.
+  std::vector<std::string> wasm_host_fns = {"get_header", "set_header",
+                                            "counter_incr", "log_event"};
+  // When nonzero, refuse to execute images whose ImageDesc signature
+  // does not verify under this key (integrity, §5).
+  std::uint64_t signing_key = 0;
+};
+
+// Image type stored in an ImageDesc's flags word.
+enum class ImageKind : std::uint64_t { kEbpf = 0, kWasm = 1 };
+
+struct SandboxStats {
+  std::uint64_t executions = 0;
+  std::uint64_t empty_hook_executions = 0;
+  std::uint64_t torn_image_failures = 0;
+  std::uint64_t signature_failures = 0;
+  std::uint64_t refreshes = 0;
+};
+
+class Sandbox {
+ public:
+  Sandbox(sim::EventQueue& events, rdma::Node& node, SandboxConfig config);
+  Sandbox(const Sandbox&) = delete;
+  Sandbox& operator=(const Sandbox&) = delete;
+
+  // ---- management stubs (one-time boot) ----
+  Status CtxInit();
+  struct Registration {
+    std::uint64_t cb_addr = 0;
+    rdma::MemoryKey rkey = 0;
+  };
+  StatusOr<Registration> CtxRegister();
+  Status CtxTeardown(int hook);
+
+  // ---- data-plane execution ----
+  // Runs the eBPF image attached at `hook` on `packet` (copied into the
+  // sandbox ctx buffer). Empty hooks return r0 = 1 ("accept") and count
+  // in stats. A torn image (checksum mismatch from a non-transactional
+  // remote write racing this execution) is an error + counter.
+  StatusOr<bpf::ExecResult> ExecuteHook(int hook, ByteSpan packet);
+
+  // Runs the Wasm filter attached at `hook` against `host`.
+  StatusOr<wasm::WasmResult> ExecuteWasmHook(int hook, wasm::WasmHost& host);
+
+  // ---- visibility plumbing (called by the sync layer) ----
+  // Schedules this CPU's discovery of a changed hook slot after `delay`.
+  void ScheduleHookRefresh(int hook, sim::Duration delay);
+  // Synchronous coherent re-read — the local CPU's own attach path (the
+  // agent baseline) sees its writes immediately.
+  void RefreshHookNow(int hook);
+  // How long a DMA write stays invisible: ~2 us with an injected flush,
+  // CPKI-dependent (100s of us) without.
+  sim::Duration VisibilityDelay(bool coherent_flush);
+  // Immediate re-read of hook slots / XState directory (local poll).
+  void RefreshHooks();
+  void RefreshXState();
+
+  // ---- introspection ----
+  // Version of the image the CPU currently executes at `hook` (0 = none).
+  std::uint64_t VisibleVersion(int hook) const;
+  // Version currently committed in memory (what RDMA wrote), which the
+  // CPU may not see yet.
+  std::uint64_t CommittedVersion(int hook) const;
+  ImageKind VisibleKind(int hook) const;
+
+  const ControlBlockView& view() const { return view_; }
+  const SandboxStats& stats() const { return stats_; }
+  bpf::RuntimeContext& runtime() { return rt_; }
+  rdma::Node& node() { return node_; }
+  std::uint32_t hook_count() const { return config_.hook_count; }
+
+  // Local-CPU side of rdx_mutual_excl: try to take / release the sandbox
+  // lock word (the control plane takes it via RDMA CAS).
+  bool TryLockLocal(std::uint64_t owner);
+  void UnlockLocal(std::uint64_t owner);
+
+ private:
+  struct HookState {
+    std::uint64_t visible_desc_addr = 0;  // what this CPU executes
+    std::uint64_t visible_version = 0;
+    ImageKind kind = ImageKind::kEbpf;
+    // Decoded-image caches keyed by (desc_addr, version).
+    std::optional<bpf::JitImage> ebpf_image;
+    std::optional<wasm::WasmImage> wasm_image;
+    std::uint64_t refcount = 0;
+  };
+
+  StatusOr<std::uint64_t> ReadWord(std::uint64_t addr) const;
+  Status WriteWord(std::uint64_t addr, std::uint64_t value);
+  // Loads + decodes the image behind hook's visible desc into the cache.
+  Status LoadHookImage(int hook);
+  void BuildSymbolTable(Bytes& out) const;
+
+  sim::EventQueue& events_;
+  rdma::Node& node_;
+  SandboxConfig config_;
+  HostMemSpace mem_space_;
+  Rng rng_;
+  sim::CacheModel cache_;
+  bpf::RuntimeContext rt_;
+
+  bool booted_ = false;
+  bool registered_ = false;
+  ControlBlockView view_;
+  std::uint64_t ctx_buf_addr_ = 0;
+  std::uint64_t stack_addr_ = 0;
+  std::vector<HookState> hooks_;
+  SandboxStats stats_;
+};
+
+}  // namespace rdx::core

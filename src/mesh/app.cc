@@ -1,0 +1,97 @@
+#include "mesh/app.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace rdx::mesh {
+
+std::vector<std::vector<std::size_t>> AppSpec::DependencyWaves() const {
+  // Longest-path layering: a service's wave index is 1 + max of callers.
+  // Rolling out waves in *reverse* (deepest first) updates callees before
+  // callers.
+  std::vector<int> depth(services.size(), 0);
+  // Kahn-style relaxation; the DAG is small, so a fixed-point loop is fine.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < services.size(); ++i) {
+      for (int callee : services[i].downstream) {
+        if (depth[callee] < depth[i] + 1) {
+          depth[callee] = depth[i] + 1;
+          changed = true;
+        }
+      }
+    }
+  }
+  const int max_depth =
+      *std::max_element(depth.begin(), depth.end());
+  std::vector<std::vector<std::size_t>> waves(max_depth + 1);
+  for (std::size_t i = 0; i < services.size(); ++i) {
+    // Deepest services (leaves) first.
+    waves[max_depth - depth[i]].push_back(i);
+  }
+  return waves;
+}
+
+std::vector<int> AppSpec::TraversalOrder() const {
+  std::vector<int> order;
+  std::vector<bool> visited(services.size(), false);
+  std::vector<int> stack = {ingress};
+  while (!stack.empty()) {
+    const int s = stack.back();
+    stack.pop_back();
+    if (visited[s]) continue;
+    visited[s] = true;
+    order.push_back(s);
+    const auto& ds = services[s].downstream;
+    for (auto it = ds.rbegin(); it != ds.rend(); ++it) {
+      if (!visited[*it]) stack.push_back(*it);
+    }
+  }
+  return order;
+}
+
+AppSpec AppSpec::Generate(std::string name, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  AppSpec app;
+  app.name = std::move(name);
+  app.services.resize(n);
+  for (int i = 0; i < n; ++i) {
+    app.services[i].name = app.name + "-svc" + std::to_string(i);
+  }
+  // Layered construction: service i may call services in (i, i + span],
+  // giving chains with moderate fan-out (1-3 downstreams), matching the
+  // microservice dependency shapes of [50].
+  for (int i = 0; i < n - 1; ++i) {
+    const int fan = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int f = 0; f < fan; ++f) {
+      const int span = std::min(n - 1 - i, 4);
+      if (span <= 0) break;
+      const int callee = i + 1 + static_cast<int>(rng.NextBounded(span));
+      auto& ds = app.services[i].downstream;
+      if (std::find(ds.begin(), ds.end(), callee) == ds.end()) {
+        ds.push_back(callee);
+      }
+    }
+  }
+  // Guarantee connectivity: every service (except ingress) has a caller.
+  std::vector<bool> called(n, false);
+  called[0] = true;
+  for (int i = 0; i < n; ++i) {
+    for (int callee : app.services[i].downstream) called[callee] = true;
+  }
+  for (int i = 1; i < n; ++i) {
+    if (!called[i]) app.services[i - 1].downstream.push_back(i);
+  }
+  return app;
+}
+
+std::vector<AppSpec> AppSpec::PaperApps() {
+  return {AppSpec::Generate("app1", 4, 101),
+          AppSpec::Generate("app2", 11, 102),
+          AppSpec::Generate("app3", 17, 103),
+          AppSpec::Generate("app4", 33, 104)};
+}
+
+}  // namespace rdx::mesh

@@ -1,0 +1,40 @@
+// Microservice application topologies. The paper's Fig 2b evaluates four
+// apps with 4, 11, 17 and 33 microservices; AppSpec::Generate builds
+// layered DAGs of those sizes (fan-outs and chain depths in the ranges
+// the Alibaba trace analysis [50] reports).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rdx::mesh {
+
+struct ServiceSpec {
+  std::string name;
+  std::vector<int> downstream;  // indices of callee services
+};
+
+struct AppSpec {
+  std::string name;
+  std::vector<ServiceSpec> services;
+  int ingress = 0;
+
+  std::size_t size() const { return services.size(); }
+
+  // Topological layers starting at the ingress; used by the agent
+  // baseline to roll out in dependency order (callees before callers),
+  // and as the release order for BBU.
+  std::vector<std::vector<std::size_t>> DependencyWaves() const;
+
+  // Depth-first traversal order a request takes from the ingress.
+  std::vector<int> TraversalOrder() const;
+
+  // Layered random DAG with `n` services.
+  static AppSpec Generate(std::string name, int n, std::uint64_t seed);
+
+  // The paper's four apps.
+  static std::vector<AppSpec> PaperApps();
+};
+
+}  // namespace rdx::mesh

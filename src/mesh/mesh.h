@@ -1,0 +1,131 @@
+// Service-mesh data-plane simulation. Each microservice runs on its own
+// node: a CPU (processor sharing), a sandbox with sidecar filter hooks
+// (hook 0 = Wasm filter, hook 1 = eBPF program), and a Wasm host API.
+// Requests arrive open-loop at the ingress and traverse the app DAG,
+// charging CPU at every hop — including the cycles of whatever extension
+// is attached, and including whatever the colocated agent happens to be
+// compiling, which is how Fig 2c's contention arises.
+//
+// MeshSim also implements core::UpdateBarrier, so a Collective CodeFlow
+// broadcast can buffer requests across its commit window (BBU) and the
+// bench can compare "requests that observed mixed filter versions"
+// with and without it.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "common/stats.h"
+#include "core/broadcast.h"
+#include "core/sandbox.h"
+#include "mesh/app.h"
+#include "sim/cost_model.h"
+#include "sim/cpu.h"
+
+namespace rdx::mesh {
+
+struct MeshConfig {
+  AppSpec app;
+  double request_rate_per_s = 2000;
+  int cores_per_service = 4;
+  std::uint64_t seed = 1;
+  sim::CostModel cost;
+  double sandbox_cpki = 10.0;
+  // Hooks executed per hop when an image is attached.
+  int wasm_hook = 0;
+  int ebpf_hook = 1;
+};
+
+struct MeshMetrics {
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  // Requests that saw more than one extension version along their path
+  // (the update-inconsistency casualty count).
+  std::uint64_t mixed_version = 0;
+  std::uint64_t buffered_peak = 0;
+  Histogram latency_ns;
+  sim::SimTime window_start = 0;
+  sim::SimTime window_end = 0;
+
+  double CompletionRatePerSec() const {
+    const double secs =
+        static_cast<double>(window_end - window_start) / 1e9;
+    return secs > 0 ? static_cast<double>(completed) / secs : 0;
+  }
+};
+
+// Wasm host API of one sidecar: header get/set against a tiny per-request
+// header block, plus service-level counters.
+class SidecarHost final : public wasm::WasmHost {
+ public:
+  StatusOr<std::uint64_t> CallHost(std::int32_t host_fn, std::uint64_t arg0,
+                                   std::uint64_t arg1) override;
+
+  void BeginRequest(std::uint64_t request_id);
+  std::uint64_t counter() const { return counter_; }
+
+ private:
+  std::uint64_t headers_[16] = {};
+  std::uint64_t counter_ = 0;
+  std::uint64_t log_events_ = 0;
+};
+
+class MeshSim final : public core::UpdateBarrier {
+ public:
+  MeshSim(sim::EventQueue& events, rdma::Fabric& fabric, MeshConfig config);
+
+  // ---- topology access (for control planes / agents) ----
+  std::size_t size() const { return services_.size(); }
+  core::Sandbox& sandbox(std::size_t i) { return *services_[i]->sandbox; }
+  sim::CpuScheduler& cpu(std::size_t i) { return *services_[i]->cpu; }
+  std::vector<core::Sandbox*> sandboxes();
+  const AppSpec& app() const { return config_.app; }
+
+  // ---- workload ----
+  void StartWorkload();
+  void StopWorkload();
+  // Snapshot-and-reset of the measurement window.
+  MeshMetrics TakeMetrics();
+  const MeshMetrics& PeekMetrics() const { return metrics_; }
+
+  // ---- core::UpdateBarrier (BBU) ----
+  void BeginBuffering() override;
+  void ReleaseBuffered() override;
+  std::size_t BufferedCount() const override { return buffered_.size(); }
+
+ private:
+  struct Service {
+    rdma::Node* node;
+    std::unique_ptr<sim::CpuScheduler> cpu;
+    std::unique_ptr<core::Sandbox> sandbox;
+    SidecarHost host;
+  };
+  struct Request {
+    std::uint64_t id;
+    sim::SimTime start;
+    std::vector<int> path;
+    std::size_t next_hop = 0;
+    std::uint64_t min_version = ~0ull;
+    std::uint64_t max_version = 0;
+    bool failed = false;
+  };
+
+  void ScheduleNextArrival();
+  void Dispatch(std::shared_ptr<Request> request);
+  void RunHop(std::shared_ptr<Request> request);
+  void Complete(std::shared_ptr<Request> request);
+
+  sim::EventQueue& events_;
+  MeshConfig config_;
+  Rng rng_;
+  std::vector<int> traversal_;
+  std::vector<std::unique_ptr<Service>> services_;
+  MeshMetrics metrics_;
+  bool running_ = false;
+  bool buffering_ = false;
+  std::deque<std::shared_ptr<Request>> buffered_;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace rdx::mesh

@@ -1,0 +1,24 @@
+#include "rdma/cq.h"
+
+namespace rdx::rdma {
+
+bool CompletionQueue::Push(const WorkCompletion& wc) {
+  if (notify_ && notify_(wc)) return true;
+  if (entries_.size() >= capacity_) {
+    ++overruns_;
+    return false;
+  }
+  entries_.push_back(wc);
+  return true;
+}
+
+std::vector<WorkCompletion> CompletionQueue::Poll(std::size_t max) {
+  std::vector<WorkCompletion> out;
+  while (!entries_.empty() && out.size() < max) {
+    out.push_back(entries_.front());
+    entries_.pop_front();
+  }
+  return out;
+}
+
+}  // namespace rdx::rdma

@@ -1,0 +1,47 @@
+// Completion queue. Completions are pushed by the fabric at their
+// simulated completion time; consumers either Poll() (data-plane style
+// busy polling) or install a notify callback (completion-channel style,
+// used by the RDX control plane to resume coroutine-free state machines).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "rdma/types.h"
+
+namespace rdx::rdma {
+
+class CompletionQueue {
+ public:
+  using Notify = std::function<void(const WorkCompletion&)>;
+
+  explicit CompletionQueue(std::uint32_t capacity = 4096)
+      : capacity_(capacity) {}
+
+  // Fabric-side: enqueue a completion. Returns false on CQ overrun (the
+  // entry is dropped, mirroring real CQ overflow behaviour).
+  bool Push(const WorkCompletion& wc);
+
+  // Consumer-side: dequeue up to `max` completions.
+  std::vector<WorkCompletion> Poll(std::size_t max = 16);
+
+  // Install a callback invoked (synchronously, at completion time) for
+  // every pushed completion. The entry is still queued for Poll() unless
+  // the callback returns true ("consumed").
+  void SetNotify(std::function<bool(const WorkCompletion&)> notify) {
+    notify_ = std::move(notify);
+  }
+
+  std::size_t Depth() const { return entries_.size(); }
+  std::uint64_t overruns() const { return overruns_; }
+
+ private:
+  std::uint32_t capacity_;
+  std::deque<WorkCompletion> entries_;
+  std::function<bool(const WorkCompletion&)> notify_;
+  std::uint64_t overruns_ = 0;
+};
+
+}  // namespace rdx::rdma

@@ -1,0 +1,274 @@
+#include "rdma/fabric.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace rdx::rdma {
+
+const char* WcStatusName(WcStatus status) {
+  switch (status) {
+    case WcStatus::kSuccess: return "SUCCESS";
+    case WcStatus::kLocalProtectionError: return "LOCAL_PROTECTION_ERROR";
+    case WcStatus::kRemoteAccessError: return "REMOTE_ACCESS_ERROR";
+    case WcStatus::kRemoteInvalidRequest: return "REMOTE_INVALID_REQUEST";
+    case WcStatus::kWorkRequestFlushed: return "WORK_REQUEST_FLUSHED";
+    case WcStatus::kRetryExceeded: return "RETRY_EXCEEDED";
+  }
+  return "UNKNOWN";
+}
+
+Status QueuePair::PostSend(const SendWr& wr) {
+  if (state_ == QpState::kError) {
+    // Flushed immediately, as a real RC QP would.
+    WorkCompletion wc;
+    wc.wr_id = wr.wr_id;
+    wc.status = WcStatus::kWorkRequestFlushed;
+    wc.opcode = wr.opcode;
+    wc.qp_num = num_;
+    send_cq_.Push(wc);
+    return FailedPrecondition("QP in error state");
+  }
+  if (state_ != QpState::kRts) {
+    return FailedPrecondition("QP not ready to send");
+  }
+  fabric_.Execute(*this, wr);
+  return OkStatus();
+}
+
+Status QueuePair::PostRecv(const RecvWr& wr) {
+  if (state_ == QpState::kError) {
+    return FailedPrecondition("QP in error state");
+  }
+  recv_queue_.push_back(wr);
+  return OkStatus();
+}
+
+Node& Fabric::AddNode(std::string name, std::uint64_t memory_bytes) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(id, std::move(name), memory_bytes));
+  return *nodes_.back();
+}
+
+CompletionQueue& Fabric::CreateCq(NodeId node, std::uint32_t capacity) {
+  auto& n = *nodes_.at(node);
+  n.cqs_.push_back(std::make_unique<CompletionQueue>(capacity));
+  return *n.cqs_.back();
+}
+
+QueuePair& Fabric::CreateQp(NodeId node, CompletionQueue& send_cq,
+                            CompletionQueue& recv_cq) {
+  auto& n = *nodes_.at(node);
+  n.qps_.push_back(std::make_unique<QueuePair>(*this, node, next_qp_num_++,
+                                               send_cq, recv_cq));
+  return *n.qps_.back();
+}
+
+Status Fabric::Connect(QueuePair& a, QueuePair& b) {
+  if (a.state() != QpState::kInit || b.state() != QpState::kInit) {
+    return FailedPrecondition("QP already connected");
+  }
+  a.SetConnected(b.node(), b.num());
+  b.SetConnected(a.node(), a.num());
+  return OkStatus();
+}
+
+namespace {
+// Wire sizes: one-sided WRITE/SEND carry the payload outbound; READ
+// carries the payload on the response; atomics are header-sized.
+constexpr std::size_t kHeaderBytes = 64;
+
+std::size_t OutboundBytes(const SendWr& wr) {
+  switch (wr.opcode) {
+    case Opcode::kWrite:
+    case Opcode::kSend:
+      return kHeaderBytes + wr.local.length;
+    default:
+      return kHeaderBytes;
+  }
+}
+
+std::size_t ResponseBytes(const SendWr& wr) {
+  switch (wr.opcode) {
+    case Opcode::kRead:
+      return kHeaderBytes + wr.local.length;
+    case Opcode::kCompareSwap:
+    case Opcode::kFetchAdd:
+      return kHeaderBytes + 8;
+    default:
+      return kHeaderBytes;  // ACK
+  }
+}
+}  // namespace
+
+void Fabric::Execute(QueuePair& qp, const SendWr& wr) {
+  // Local gather validation happens at post time (RNIC reads the local
+  // buffer synchronously via DMA).
+  Node& local = *nodes_.at(qp.node());
+  OpOutcome preflight;
+
+  Bytes payload;
+  if (wr.opcode == Opcode::kWrite || wr.opcode == Opcode::kSend) {
+    payload.resize(wr.local.length);
+    Status s = local.memory().DmaRead(wr.local.lkey, /*remote=*/false,
+                                      wr.local.addr, payload);
+    if (!s.ok()) {
+      preflight.status = WcStatus::kLocalProtectionError;
+      Complete(qp, wr, preflight);
+      return;
+    }
+  }
+
+  // Timing: the sender NIC serializes the payload onto the wire
+  // (store-and-forward), the remote effect applies after propagation, and
+  // RC ordering clamps both arrival and completion to post order.
+  QpTiming& timing = qp_timing_[qp.num()];
+  const sim::SimTime now = events_.Now();
+  const sim::SimTime tx_start = std::max(now, timing.wire_free);
+  const double tx_ns =
+      static_cast<double>(OutboundBytes(wr)) / link_.bytes_per_ns;
+  timing.wire_free = tx_start + static_cast<sim::Duration>(tx_ns);
+  sim::SimTime arrival = timing.wire_free + link_.base_latency;
+  arrival = std::max(arrival, timing.last_arrival);
+  timing.last_arrival = arrival;
+  const sim::Duration response = link_.OneWay(ResponseBytes(wr));
+
+  // Remote effect applies at `arrival`; requester completion after the
+  // response flight. Capture payload by value: the local buffer may be
+  // reused by the caller after PostSend returns (RNIC semantics would
+  // forbid that, but the copy makes the simulation robust).
+  events_.ScheduleAt(arrival, [this, &qp, wr,
+                               payload = std::move(payload),
+                               response]() mutable {
+    if (qp.state() == QpState::kError) return;
+    SendWr wr_copy = wr;
+    OpOutcome outcome;
+    Node& remote = *nodes_.at(qp.remote_node());
+    switch (wr.opcode) {
+      case Opcode::kWrite: {
+        Status s = remote.memory().DmaWrite(wr.rkey, /*remote=*/true,
+                                            wr.remote_addr, payload);
+        outcome.status =
+            s.ok() ? WcStatus::kSuccess : WcStatus::kRemoteAccessError;
+        outcome.byte_len = wr.local.length;
+        if (s.ok()) bytes_written_ += wr.local.length;
+        break;
+      }
+      case Opcode::kRead: {
+        outcome.read_payload.resize(wr.local.length);
+        Status s = remote.memory().DmaRead(wr.rkey, /*remote=*/true,
+                                           wr.remote_addr,
+                                           outcome.read_payload);
+        outcome.status =
+            s.ok() ? WcStatus::kSuccess : WcStatus::kRemoteAccessError;
+        outcome.byte_len = wr.local.length;
+        break;
+      }
+      case Opcode::kSend: {
+        QueuePair* remote_qp = nullptr;
+        for (auto& q : remote.qps_) {
+          if (q->num() == qp.remote_qp()) remote_qp = q.get();
+        }
+        RecvWr recv;
+        if (remote_qp == nullptr || !remote_qp->PopRecv(recv)) {
+          // Receiver-not-ready with retries exhausted.
+          outcome.status = WcStatus::kRetryExceeded;
+          break;
+        }
+        if (payload.size() > recv.local.length) {
+          outcome.status = WcStatus::kRemoteInvalidRequest;
+          break;
+        }
+        Status s = remote.memory().DmaWrite(recv.local.lkey, /*remote=*/false,
+                                            recv.local.addr, payload);
+        outcome.status =
+            s.ok() ? WcStatus::kSuccess : WcStatus::kRemoteAccessError;
+        outcome.byte_len = static_cast<std::uint32_t>(payload.size());
+        if (s.ok()) {
+          outcome.recv_consumed = true;
+          outcome.recv_wr_id = recv.wr_id;
+          WorkCompletion rwc;
+          rwc.wr_id = recv.wr_id;
+          rwc.status = WcStatus::kSuccess;
+          rwc.opcode = Opcode::kSend;
+          rwc.byte_len = outcome.byte_len;
+          rwc.qp_num = remote_qp->num();
+          rwc.completed_at = events_.Now();
+          remote_qp->recv_cq().Push(rwc);
+        }
+        break;
+      }
+      case Opcode::kCompareSwap: {
+        auto r = remote.memory().DmaCompareSwap(wr.rkey, wr.remote_addr,
+                                                wr.compare_add, wr.swap);
+        if (r.ok()) {
+          outcome.atomic_original = r.value();
+          outcome.byte_len = 8;
+        } else {
+          outcome.status = WcStatus::kRemoteInvalidRequest;
+        }
+        break;
+      }
+      case Opcode::kFetchAdd: {
+        auto r = remote.memory().DmaFetchAdd(wr.rkey, wr.remote_addr,
+                                             wr.compare_add);
+        if (r.ok()) {
+          outcome.atomic_original = r.value();
+          outcome.byte_len = 8;
+        } else {
+          outcome.status = WcStatus::kRemoteInvalidRequest;
+        }
+        break;
+      }
+    }
+    ++ops_executed_;
+    QpTiming& t = qp_timing_[qp.num()];
+    sim::SimTime completion =
+        std::max(events_.Now() + response, t.last_completion);
+    t.last_completion = completion;
+    events_.ScheduleAt(completion, [this, &qp, wr_copy, outcome]() {
+      Complete(qp, wr_copy, outcome);
+    });
+  });
+}
+
+void Fabric::Complete(QueuePair& qp, const SendWr& wr,
+                      const OpOutcome& outcome) {
+  Node& local = *nodes_.at(qp.node());
+  WcStatus status = outcome.status;
+
+  // Scatter READ/atomic results into the local buffer.
+  if (status == WcStatus::kSuccess && wr.opcode == Opcode::kRead) {
+    Status s = local.memory().DmaWrite(wr.local.lkey, /*remote=*/false,
+                                       wr.local.addr, outcome.read_payload);
+    if (!s.ok()) status = WcStatus::kLocalProtectionError;
+  }
+  if (status == WcStatus::kSuccess && (wr.opcode == Opcode::kCompareSwap ||
+                                       wr.opcode == Opcode::kFetchAdd)) {
+    std::uint8_t buf[8];
+    StoreLE(buf, outcome.atomic_original);
+    Status s = local.memory().DmaWrite(wr.local.lkey, /*remote=*/false,
+                                       wr.local.addr, buf);
+    if (!s.ok()) status = WcStatus::kLocalProtectionError;
+  }
+
+  if (status != WcStatus::kSuccess) {
+    RDX_DEBUG("QP %u op %d failed: %s", qp.num(),
+              static_cast<int>(wr.opcode), WcStatusName(status));
+    qp.SetError();
+  }
+
+  if (wr.signaled || status != WcStatus::kSuccess) {
+    WorkCompletion wc;
+    wc.wr_id = wr.wr_id;
+    wc.status = status;
+    wc.opcode = wr.opcode;
+    wc.byte_len = outcome.byte_len;
+    wc.qp_num = qp.num();
+    wc.completed_at = events_.Now();
+    wc.atomic_original = outcome.atomic_original;
+    qp.send_cq().Push(wc);
+  }
+}
+
+}  // namespace rdx::rdma

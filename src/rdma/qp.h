@@ -1,0 +1,73 @@
+// Reliable-connection queue pair. Follows the ibverbs life cycle:
+// created in Init, transitioned to Rtr/Rts by Fabric::Connect, moved to
+// Error on the first failed work request (subsequent WRs are flushed).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/status.h"
+#include "rdma/cq.h"
+#include "rdma/types.h"
+
+namespace rdx::rdma {
+
+class Fabric;
+
+enum class QpState : std::uint8_t { kInit, kRtr, kRts, kError };
+
+class QueuePair {
+ public:
+  QueuePair(Fabric& fabric, NodeId node, QpNum num, CompletionQueue& send_cq,
+            CompletionQueue& recv_cq)
+      : fabric_(fabric),
+        node_(node),
+        num_(num),
+        send_cq_(send_cq),
+        recv_cq_(recv_cq) {}
+  QueuePair(const QueuePair&) = delete;
+  QueuePair& operator=(const QueuePair&) = delete;
+
+  QpNum num() const { return num_; }
+  NodeId node() const { return node_; }
+  QpState state() const { return state_; }
+  NodeId remote_node() const { return remote_node_; }
+  QpNum remote_qp() const { return remote_qp_; }
+  CompletionQueue& send_cq() { return send_cq_; }
+  CompletionQueue& recv_cq() { return recv_cq_; }
+
+  // Posts a work request to the send queue. In Rts the fabric picks it up
+  // immediately (simulated asynchronously); in Error it is flushed.
+  Status PostSend(const SendWr& wr);
+
+  // Posts a receive buffer for incoming SENDs.
+  Status PostRecv(const RecvWr& wr);
+
+  // Used by Fabric.
+  void SetConnected(NodeId remote_node, QpNum remote_qp) {
+    remote_node_ = remote_node;
+    remote_qp_ = remote_qp;
+    state_ = QpState::kRts;
+  }
+  void SetError() { state_ = QpState::kError; }
+  bool PopRecv(RecvWr& out) {
+    if (recv_queue_.empty()) return false;
+    out = recv_queue_.front();
+    recv_queue_.pop_front();
+    return true;
+  }
+  std::size_t RecvDepth() const { return recv_queue_.size(); }
+
+ private:
+  Fabric& fabric_;
+  NodeId node_;
+  QpNum num_;
+  CompletionQueue& send_cq_;
+  CompletionQueue& recv_cq_;
+  QpState state_ = QpState::kInit;
+  NodeId remote_node_ = kInvalidNode;
+  QpNum remote_qp_ = 0;
+  std::deque<RecvWr> recv_queue_;
+};
+
+}  // namespace rdx::rdma

@@ -1,0 +1,86 @@
+// Vocabulary types for the simulated RDMA fabric. The API deliberately
+// mirrors ibverbs (protection domains, memory regions with lkey/rkey,
+// reliable-connection queue pairs, work requests, completion queues) so
+// that the RDX layer above is written exactly as it would be against real
+// verbs — only the transport underneath is simulated.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace rdx::rdma {
+
+using NodeId = std::uint32_t;
+using QpNum = std::uint32_t;
+using MemoryKey = std::uint32_t;  // lkey / rkey
+
+constexpr NodeId kInvalidNode = ~0u;
+
+// Access flags for memory registration, same spirit as IBV_ACCESS_*.
+enum AccessFlags : std::uint32_t {
+  kAccessLocalWrite = 1u << 0,
+  kAccessRemoteRead = 1u << 1,
+  kAccessRemoteWrite = 1u << 2,
+  kAccessRemoteAtomic = 1u << 3,
+};
+
+enum class Opcode : std::uint8_t {
+  kWrite,        // one-sided RDMA WRITE
+  kRead,         // one-sided RDMA READ
+  kSend,         // two-sided SEND (consumes a remote RECV)
+  kCompareSwap,  // 8-byte remote compare-and-swap
+  kFetchAdd,     // 8-byte remote fetch-and-add
+};
+
+enum class WcStatus : std::uint8_t {
+  kSuccess,
+  kLocalProtectionError,   // bad lkey / local bounds
+  kRemoteAccessError,      // bad rkey / remote bounds / permissions
+  kRemoteInvalidRequest,   // e.g. misaligned atomic
+  kWorkRequestFlushed,     // QP entered error state; WR not executed
+  kRetryExceeded,          // remote QP unreachable
+};
+
+const char* WcStatusName(WcStatus status);
+
+// Scatter/gather element addressing registered local memory.
+struct Sge {
+  std::uint64_t addr = 0;  // local virtual address
+  std::uint32_t length = 0;
+  MemoryKey lkey = 0;
+};
+
+// Work request posted to a QP's send queue.
+struct SendWr {
+  std::uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kWrite;
+  Sge local;                       // local buffer (source or destination)
+  std::uint64_t remote_addr = 0;   // for one-sided ops and atomics
+  MemoryKey rkey = 0;
+  // Atomics: kCompareSwap uses compare_add as expected value and swap as
+  // the new value; kFetchAdd uses compare_add as the addend.
+  std::uint64_t compare_add = 0;
+  std::uint64_t swap = 0;
+  bool signaled = true;  // unsignaled WRs produce no completion entry
+};
+
+// Receive work request (two-sided path).
+struct RecvWr {
+  std::uint64_t wr_id = 0;
+  Sge local;
+};
+
+// Completion queue entry.
+struct WorkCompletion {
+  std::uint64_t wr_id = 0;
+  WcStatus status = WcStatus::kSuccess;
+  Opcode opcode = Opcode::kWrite;
+  std::uint32_t byte_len = 0;
+  QpNum qp_num = 0;
+  sim::SimTime completed_at = 0;
+  // For atomics: the original value read at the remote address.
+  std::uint64_t atomic_original = 0;
+};
+
+}  // namespace rdx::rdma

@@ -1,0 +1,27 @@
+#include "sim/cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rdx::sim {
+
+Duration CacheModel::ExpectedDiscoveryDelay(double cpki) const {
+  if (cpki <= 0.0) {
+    // No cache pressure: the stale line is effectively never evicted; cap
+    // the model at ten milliseconds to keep the simulation finite.
+    return Millis(10);
+  }
+  const double miss_rate_hz = cpki / 1000.0 * config_.insn_rate_hz;
+  const double mean_seconds =
+      static_cast<double>(config_.lines) / miss_rate_hz;
+  const double mean_ns = mean_seconds * 1e9;
+  return std::min<Duration>(static_cast<Duration>(mean_ns), Millis(10));
+}
+
+Duration CacheModel::SampleDiscoveryDelay(double cpki, Rng& rng) const {
+  const Duration mean = ExpectedDiscoveryDelay(cpki);
+  const double sample = rng.NextExponential(static_cast<double>(mean));
+  return std::min<Duration>(static_cast<Duration>(sample), Millis(10));
+}
+
+}  // namespace rdx::sim

@@ -1,0 +1,62 @@
+// RNIC/CPU cache-coherence model (the mechanism behind Fig 5).
+//
+// One-sided RDMA writes are delivered by the RNIC via DMA to DRAM. On the
+// testbed platforms the paper targets (non-DDIO-allocating lines, or lines
+// already resident in a core's private cache), the CPU keeps serving a
+// *stale* copy of the written cacheline until that line is evicted and
+// refetched. The time until natural eviction depends on cache pressure:
+// with a miss rate of `cpki` misses per 1000 instructions and an
+// instruction retirement rate of R insn/s, misses arrive at rate
+// (cpki/1000)*R, each filling one line and evicting a (random-replacement)
+// victim. A specific line of an L-line cache is therefore evicted after a
+// geometrically distributed number of misses with mean L, i.e. after an
+// approximately exponential time with mean
+//
+//     E[discovery delay] = L * 1000 / (cpki * R).
+//
+// rdx_cc_event() sidesteps this entirely by having the control plane
+// inject a cacheline flush (a tiny helper that executes CLFLUSH on the
+// target range), making the write visible after a constant ~2 us.
+//
+// Calibration: kDefaultLines is chosen so that CPKI=10 yields ~746 us,
+// matching the worst case the paper reports for vanilla RDMA in Fig 5.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "sim/time.h"
+
+namespace rdx::sim {
+
+struct CacheConfig {
+  // Number of cachelines the stale line competes with (private L2-ish).
+  std::int64_t lines = 7460;
+  // Instruction retirement rate of the polling core, insn/second.
+  double insn_rate_hz = 1e9;
+  // Latency of an injected coherent flush (rdx_cc_event path).
+  Duration flush_latency = Micros(2);
+};
+
+class CacheModel {
+ public:
+  explicit CacheModel(CacheConfig config = {}) : config_(config) {}
+
+  // Mean time for a DMA-written line to become CPU-visible with NO
+  // explicit synchronization, at the given cache-miss intensity.
+  Duration ExpectedDiscoveryDelay(double cpki) const;
+
+  // Stochastic sample of the same quantity (exponential around the mean),
+  // used by the fig5 bench to produce a distribution per CPKI level.
+  Duration SampleDiscoveryDelay(double cpki, Rng& rng) const;
+
+  // Visibility delay when the control plane issues rdx_cc_event().
+  Duration FlushDelay() const { return config_.flush_latency; }
+
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  CacheConfig config_;
+};
+
+}  // namespace rdx::sim

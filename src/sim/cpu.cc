@@ -1,0 +1,117 @@
+#include "sim/cpu.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace rdx::sim {
+
+namespace {
+// Completion slop: tasks whose remaining demand falls below this many
+// cycles are considered done, absorbing floating-point drift.
+constexpr double kEpsilonCycles = 1e-3;
+}  // namespace
+
+CpuScheduler::CpuScheduler(EventQueue& events, int cores, double hz)
+    : events_(events), cores_(cores), hz_(hz) {
+  assert(cores_ > 0 && hz_ > 0);
+  last_update_ = events_.Now();
+  created_at_ = events_.Now();
+}
+
+double CpuScheduler::PerTaskRate() const {
+  if (tasks_.empty()) return 0.0;
+  const double share =
+      std::min(1.0, static_cast<double>(cores_) /
+                        static_cast<double>(tasks_.size()));
+  return hz_ * share / 1e9;  // cycles per nanosecond
+}
+
+void CpuScheduler::Settle() {
+  const SimTime now = events_.Now();
+  const double elapsed_ns = static_cast<double>(now - last_update_);
+  if (elapsed_ns > 0 && !tasks_.empty()) {
+    const double served = elapsed_ns * PerTaskRate();
+    for (auto& [id, task] : tasks_) {
+      task.remaining_cycles -= served;
+    }
+    busy_core_ns_ +=
+        elapsed_ns *
+        std::min<double>(static_cast<double>(tasks_.size()), cores_);
+  }
+  last_update_ = now;
+}
+
+void CpuScheduler::Reschedule() {
+  if (has_pending_event_) {
+    events_.Cancel(pending_event_);
+    has_pending_event_ = false;
+  }
+  if (tasks_.empty()) return;
+  double min_remaining = 0.0;
+  bool first = true;
+  for (const auto& [id, task] : tasks_) {
+    if (first || task.remaining_cycles < min_remaining) {
+      min_remaining = task.remaining_cycles;
+      first = false;
+    }
+  }
+  min_remaining = std::max(min_remaining, 0.0);
+  const double rate = PerTaskRate();
+  const Duration dt =
+      static_cast<Duration>(std::ceil(min_remaining / rate));
+  pending_event_ = events_.ScheduleAfter(dt, [this] { OnCompletionEvent(); });
+  has_pending_event_ = true;
+}
+
+CpuScheduler::TaskId CpuScheduler::Submit(std::uint64_t cycles,
+                                          Completion on_done) {
+  Settle();
+  const TaskId id = next_id_++;
+  tasks_.emplace(id,
+                 Task{static_cast<double>(cycles), std::move(on_done)});
+  Reschedule();
+  return id;
+}
+
+void CpuScheduler::Abort(TaskId id) {
+  Settle();
+  tasks_.erase(id);
+  Reschedule();
+}
+
+void CpuScheduler::OnCompletionEvent() {
+  has_pending_event_ = false;
+  Settle();
+  // Collect finished tasks first: completions may Submit() re-entrantly.
+  std::vector<Completion> done;
+  for (auto it = tasks_.begin(); it != tasks_.end();) {
+    if (it->second.remaining_cycles <= kEpsilonCycles) {
+      done.push_back(std::move(it->second.on_done));
+      it = tasks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  Reschedule();
+  for (auto& fn : done) {
+    if (fn) fn();
+  }
+}
+
+double CpuScheduler::Utilization() const {
+  const SimTime now = events_.Now();
+  const double span = static_cast<double>(now - created_at_);
+  if (span <= 0) return 0.0;
+  double busy = busy_core_ns_;
+  // Include the in-flight interval since the last settle.
+  const double elapsed = static_cast<double>(now - last_update_);
+  if (elapsed > 0 && !tasks_.empty()) {
+    busy += elapsed * std::min<double>(static_cast<double>(tasks_.size()),
+                                       cores_);
+  }
+  return busy / (span * cores_);
+}
+
+}  // namespace rdx::sim

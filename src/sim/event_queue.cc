@@ -1,0 +1,69 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rdx::sim {
+
+EventQueue::EventId EventQueue::ScheduleAt(SimTime at, Handler fn) {
+  const EventId id = next_id_++;
+  queue_.push(Event{std::max(at, now_), next_seq_++, id, std::move(fn)});
+  ++live_events_;
+  return id;
+}
+
+EventQueue::EventId EventQueue::ScheduleAfter(Duration delay, Handler fn) {
+  return ScheduleAt(now_ + std::max<Duration>(delay, 0), std::move(fn));
+}
+
+void EventQueue::Cancel(EventId id) {
+  // Tombstone: the event stays in the heap but is skipped when popped.
+  cancelled_.push_back(id);
+  if (live_events_ > 0) --live_events_;
+}
+
+// Pops tombstoned events off the top of the heap so that queue_.top() is
+// always a live event (or the heap is empty).
+void EventQueue::DiscardCancelledTop() {
+  while (!queue_.empty()) {
+    const auto it =
+        std::find(cancelled_.begin(), cancelled_.end(), queue_.top().id);
+    if (it == cancelled_.end()) return;
+    *it = cancelled_.back();
+    cancelled_.pop_back();
+    queue_.pop();
+  }
+}
+
+bool EventQueue::PopAndRun() {
+  DiscardCancelledTop();
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  assert(ev.at >= now_ && "event scheduled in the past");
+  now_ = ev.at;
+  --live_events_;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t EventQueue::Run() {
+  std::uint64_t n = 0;
+  while (PopAndRun()) ++n;
+  return n;
+}
+
+std::uint64_t EventQueue::RunUntil(SimTime until) {
+  std::uint64_t n = 0;
+  for (;;) {
+    DiscardCancelledTop();
+    if (queue_.empty() || queue_.top().at > until) break;
+    if (PopAndRun()) ++n;
+  }
+  now_ = std::max(now_, until);
+  return n;
+}
+
+bool EventQueue::Step() { return PopAndRun(); }
+
+}  // namespace rdx::sim

@@ -1,0 +1,74 @@
+// Discrete-event engine. Single-threaded: events fire in (time, insertion
+// order) sequence, and handlers may schedule further events. This is the
+// backbone every other simulated component (RNIC DMA engine, CPU
+// scheduler, workload generators) hangs off.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace rdx::sim {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `at` (clamped to Now()).
+  // Returns an id usable with Cancel().
+  EventId ScheduleAt(SimTime at, Handler fn);
+
+  // Schedules `fn` to run `delay` ns from now.
+  EventId ScheduleAfter(Duration delay, Handler fn);
+
+  // Cancels a pending event. Cancelling an already-fired or unknown id is
+  // a no-op. O(1): the event is tombstoned, not removed.
+  void Cancel(EventId id);
+
+  // Runs events until the queue drains. Returns the number of events run.
+  std::uint64_t Run();
+
+  // Runs events with fire time <= `until`, then sets Now() to `until` if
+  // the simulation reached it without running dry first.
+  std::uint64_t RunUntil(SimTime until);
+
+  // Runs at most one event. Returns false if the queue was empty.
+  bool Step();
+
+  bool Empty() const { return live_events_ == 0; }
+  std::size_t PendingEvents() const { return live_events_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    EventId id;
+    Handler fn;
+    bool operator>(const Event& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  bool PopAndRun();
+  void DiscardCancelledTop();
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<EventId> cancelled_;  // sorted insertion not needed; small
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_events_ = 0;
+};
+
+}  // namespace rdx::sim

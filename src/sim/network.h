@@ -1,0 +1,43 @@
+// Link latency models for the two transports in the system:
+//  - the RDMA fabric (RoCE): ~1.5 us one-way + line-rate serialization,
+//    used for verbs operations issued by the RDX control plane; and
+//  - the agent control channel (gRPC/TCP over the same wire): tens of us
+//    of stack latency, used by the baseline controller -> agent pushes.
+// Constants are calibrated to a 100 Gbps rack fabric (see cost_model.h).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace rdx::sim {
+
+struct LinkModel {
+  // Fixed one-way latency (propagation + NIC processing).
+  Duration base_latency = Micros(2);
+  // Serialization rate in bytes per nanosecond (12.5 == 100 Gbps).
+  double bytes_per_ns = 12.5;
+
+  Duration OneWay(std::size_t payload_bytes) const {
+    return base_latency + static_cast<Duration>(
+                              static_cast<double>(payload_bytes) /
+                              bytes_per_ns);
+  }
+
+  Duration RoundTrip(std::size_t payload_bytes) const {
+    return OneWay(payload_bytes) + base_latency;
+  }
+};
+
+// Rack-local RDMA (RoCE) hop: used for one-sided verbs.
+inline LinkModel RdmaLink() {
+  return LinkModel{.base_latency = Micros(1) + Nanos(500),
+                   .bytes_per_ns = 12.5};
+}
+
+// Kernel TCP/gRPC hop: used by the agent baseline's config push.
+inline LinkModel AgentControlLink() {
+  return LinkModel{.base_latency = Micros(50), .bytes_per_ns = 3.0};
+}
+
+}  // namespace rdx::sim

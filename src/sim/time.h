@@ -1,0 +1,25 @@
+// Virtual time for the RDX simulation substrate. All latencies in the
+// library are expressed in simulated nanoseconds (SimTime); nothing reads
+// the wall clock, which makes every experiment deterministic.
+#pragma once
+
+#include <cstdint>
+
+namespace rdx::sim {
+
+// Simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+// Duration in nanoseconds.
+using Duration = std::int64_t;
+
+constexpr Duration Nanos(std::int64_t n) { return n; }
+constexpr Duration Micros(std::int64_t us) { return us * 1000; }
+constexpr Duration Millis(std::int64_t ms) { return ms * 1000 * 1000; }
+constexpr Duration Seconds(std::int64_t s) { return s * 1000 * 1000 * 1000; }
+
+constexpr double ToMicros(Duration d) { return static_cast<double>(d) / 1e3; }
+constexpr double ToMillis(Duration d) { return static_cast<double>(d) / 1e6; }
+constexpr double ToSeconds(Duration d) { return static_cast<double>(d) / 1e9; }
+
+}  // namespace rdx::sim

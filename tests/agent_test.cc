@@ -1,0 +1,332 @@
+// Agent-baseline tests: the local injection pipeline (timing, CPU
+// charging, functional attach), the controller's push/rollout behaviour,
+// and the steady-state polling tax.
+#include <gtest/gtest.h>
+
+#include "agent/agent.h"
+#include "bpf/assembler.h"
+#include "bpf/proggen.h"
+
+namespace rdx::agent {
+namespace {
+
+struct Node {
+  sim::EventQueue events;
+  rdma::Fabric fabric{events};
+  rdma::Node* node;
+  std::unique_ptr<sim::CpuScheduler> cpu;
+  std::unique_ptr<core::Sandbox> sandbox;
+  std::unique_ptr<NodeAgent> agent;
+
+  explicit Node(AgentConfig config = {}) {
+    node = &fabric.AddNode("n", 64u << 20);
+    cpu = std::make_unique<sim::CpuScheduler>(events, 24, 3.4e9);
+    sandbox = std::make_unique<core::Sandbox>(events, *node,
+                                              core::SandboxConfig{});
+    EXPECT_TRUE(sandbox->CtxInit().ok());
+    agent = std::make_unique<NodeAgent>(events, *sandbox, *cpu, config);
+  }
+
+  AgentTrace Load(const bpf::Program& prog, int hook = 0) {
+    AgentTrace trace;
+    bool done = false;
+    agent->LoadExtension(prog, hook, [&](StatusOr<AgentTrace> r) {
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+      if (r.ok()) trace = r.value();
+      done = true;
+    });
+    while (!done && !events.Empty()) events.Step();
+    return trace;
+  }
+};
+
+bpf::Program TinyProgram(std::uint64_t ret) {
+  bpf::Program prog;
+  prog.name = "tiny";
+  prog.insns = bpf::Assemble("r0 = " + std::to_string(ret) + "\nexit\n")
+                   .value();
+  return prog;
+}
+
+TEST(NodeAgentPipeline, LoadedExtensionExecutes) {
+  Node n;
+  n.Load(TinyProgram(7));
+  Bytes packet(4, 0);
+  auto result = n.sandbox->ExecuteHook(0, packet);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->r0, 7u);
+  EXPECT_EQ(n.agent->loads_completed(), 1u);
+}
+
+TEST(NodeAgentPipeline, TraceCoversAllPhases) {
+  Node n;
+  bpf::Program prog = bpf::GenerateProgram({.target_insns = 1300, .seed = 1});
+  AgentTrace trace = n.Load(prog);
+  EXPECT_GT(trace.queue, 0);
+  EXPECT_GT(trace.verify, 0);
+  EXPECT_GT(trace.jit, 0);
+  EXPECT_GT(trace.attach, 0);
+  EXPECT_NEAR(static_cast<double>(trace.total),
+              static_cast<double>(trace.queue + trace.verify + trace.jit +
+                                  trace.attach),
+              1e5);
+  // Verify dominates (paper: 90+% of load time is verify + JIT).
+  EXPECT_GT(static_cast<double>(trace.verify + trace.jit),
+            0.6 * static_cast<double>(trace.total));
+}
+
+TEST(NodeAgentPipeline, LoadTimeGrowsWithProgramSize) {
+  Node n;
+  const AgentTrace small = n.Load(
+      bpf::GenerateProgram({.target_insns = 1000, .seed = 1}), 0);
+  const AgentTrace large = n.Load(
+      bpf::GenerateProgram({.target_insns = 20000, .seed = 1}), 1);
+  EXPECT_GT(large.total, small.total * 10);
+}
+
+TEST(NodeAgentPipeline, RejectsUnverifiableProgram) {
+  Node n;
+  bpf::Program bad;
+  bad.name = "bad";
+  bad.insns = bpf::Assemble("r0 = r9\nexit\n").value();  // uninit read
+  bool done = false;
+  n.agent->LoadExtension(bad, 0, [&](StatusOr<AgentTrace> r) {
+    EXPECT_FALSE(r.ok());
+    done = true;
+  });
+  while (!done && !n.events.Empty()) n.events.Step();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(n.sandbox->VisibleVersion(0), 0u);
+}
+
+TEST(NodeAgentPipeline, ReloadBumpsVersion) {
+  Node n;
+  n.Load(TinyProgram(1));
+  EXPECT_EQ(n.sandbox->VisibleVersion(0), 1u);
+  n.Load(TinyProgram(2));
+  EXPECT_EQ(n.sandbox->VisibleVersion(0), 2u);
+  Bytes packet(4, 0);
+  EXPECT_EQ(n.sandbox->ExecuteHook(0, packet)->r0, 2u);
+}
+
+TEST(NodeAgentPipeline, MapsAreLocallyLinked) {
+  Node n;
+  bpf::Program prog;
+  prog.name = "counting";
+  prog.maps.push_back({"hits", bpf::MapType::kArray, 4, 8, 4});
+  prog.insns = bpf::Assemble(R"(
+    *(u32*)(r10 - 4) = 0
+    r1 = map 0
+    r2 = r10
+    r2 += -4
+    call map_lookup_elem
+    if r0 == 0 goto out
+    r7 = *(u64*)(r0 + 0)
+    r7 += 1
+    *(u64*)(r0 + 0) = r7
+    r0 = r7
+    exit
+  out:
+    r0 = 0
+    exit
+  )").value();
+  n.Load(prog);
+  Bytes packet(4, 0);
+  EXPECT_EQ(n.sandbox->ExecuteHook(0, packet)->r0, 1u);
+  EXPECT_EQ(n.sandbox->ExecuteHook(0, packet)->r0, 2u);
+}
+
+TEST(NodeAgentPipeline, ReloadReusesExistingMapState) {
+  Node n;
+  bpf::Program prog;
+  prog.name = "counting";
+  prog.maps.push_back({"hits", bpf::MapType::kArray, 4, 8, 4});
+  prog.insns = bpf::Assemble(R"(
+    *(u32*)(r10 - 4) = 0
+    r1 = map 0
+    r2 = r10
+    r2 += -4
+    call map_lookup_elem
+    if r0 == 0 goto out
+    r7 = *(u64*)(r0 + 0)
+    r7 += 1
+    *(u64*)(r0 + 0) = r7
+    r0 = r7
+    exit
+  out:
+    r0 = 0
+    exit
+  )").value();
+  n.Load(prog);
+  Bytes packet(4, 0);
+  EXPECT_EQ(n.sandbox->ExecuteHook(0, packet)->r0, 1u);
+  // Reload: the map named "hits" persists across versions.
+  n.Load(prog);
+  EXPECT_EQ(n.sandbox->ExecuteHook(0, packet)->r0, 2u);
+}
+
+TEST(NodeAgentPipeline, WasmFilterLoadsAndRuns) {
+  Node n;
+  wasm::FilterModule filter = wasm::GenerateFilter(200, 4);
+  bool done = false;
+  n.agent->LoadWasmFilter(filter, 2, [&](StatusOr<AgentTrace> r) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    done = true;
+  });
+  while (!done && !n.events.Empty()) n.events.Step();
+  ASSERT_TRUE(done);
+
+  class NullHost final : public wasm::WasmHost {
+   public:
+    StatusOr<std::uint64_t> CallHost(std::int32_t, std::uint64_t,
+                                     std::uint64_t) override {
+      return 0ull;
+    }
+  } host;
+  auto result = n.sandbox->ExecuteWasmHook(2, host);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(NodeAgentPipeline, LoadChargesNodeCpu) {
+  Node n;
+  bpf::Program prog = bpf::GenerateProgram({.target_insns = 10000, .seed = 1});
+  const double before = n.cpu->Utilization();
+  n.Load(prog);
+  // Something ran on this CPU.
+  EXPECT_GT(n.cpu->Utilization(), before);
+}
+
+TEST(NodeAgentPolling, PollingConsumesCpu) {
+  AgentConfig config;
+  config.state_poll_interval = sim::Millis(10);
+  Node n(config);
+  n.agent->StartStatePolling();
+  n.events.RunUntil(sim::Seconds(1));
+  // 100 polls * 13.6M cycles on 24 cores * 3.4 GHz * 1 s.
+  const double expected =
+      100.0 * 13.6e6 / (24 * 3.4e9);
+  EXPECT_NEAR(n.cpu->Utilization(), expected, expected * 0.2);
+  n.agent->StopStatePolling();
+  const double at_stop = n.cpu->Utilization();
+  n.events.RunUntil(sim::Seconds(2));
+  EXPECT_LT(n.cpu->Utilization(), at_stop);  // decays once stopped
+}
+
+// ---- controller ----
+
+struct ControllerHarness {
+  sim::EventQueue events;
+  rdma::Fabric fabric{events};
+  AgentController controller;
+  std::vector<std::unique_ptr<sim::CpuScheduler>> cpus;
+  std::vector<std::unique_ptr<core::Sandbox>> sandboxes;
+  std::vector<std::unique_ptr<NodeAgent>> agents;
+
+  explicit ControllerHarness(int n, ControllerConfig config = {})
+      : controller(events, config) {
+    for (int i = 0; i < n; ++i) {
+      rdma::Node& node = fabric.AddNode("n" + std::to_string(i), 64u << 20);
+      cpus.push_back(std::make_unique<sim::CpuScheduler>(events, 24, 3.4e9));
+      sandboxes.push_back(std::make_unique<core::Sandbox>(
+          events, node, core::SandboxConfig{}));
+      EXPECT_TRUE(sandboxes.back()->CtxInit().ok());
+      agents.push_back(std::make_unique<NodeAgent>(
+          events, *sandboxes.back(), *cpus.back()));
+      controller.RegisterAgent(agents.back().get());
+    }
+  }
+};
+
+TEST(Controller, PushAddsNetworkDelay) {
+  ControllerHarness h(1);
+  bpf::Program prog = TinyProgram(1);
+  sim::SimTime pushed_done = 0;
+  bool done = false;
+  h.controller.PushExtension(0, prog, 0, [&](StatusOr<AgentTrace> r) {
+    ASSERT_TRUE(r.ok());
+    pushed_done = h.events.Now();
+    done = true;
+  });
+  while (!done && !h.events.Empty()) h.events.Step();
+  // Push delay (>= 5 ms base) dominates the tiny program's load time.
+  EXPECT_GT(pushed_done, sim::Millis(5));
+}
+
+TEST(Controller, RolloutReachesAllAgents) {
+  ControllerHarness h(6);
+  bpf::Program prog = TinyProgram(3);
+  bool done = false;
+  RolloutResult result;
+  h.controller.Rollout(prog, 0, {}, [&](StatusOr<RolloutResult> r) {
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    result = r.value();
+    done = true;
+  });
+  while (!done && !h.events.Empty()) h.events.Step();
+  EXPECT_EQ(result.nodes, 6u);
+  for (auto& sandbox : h.sandboxes) {
+    EXPECT_EQ(sandbox->VisibleVersion(0), 1u);
+  }
+}
+
+TEST(Controller, InconsistencyWindowSpansPropagationJitter) {
+  ControllerHarness h(10);
+  bpf::Program prog = bpf::GenerateProgram({.target_insns = 1300, .seed = 2});
+  bool done = false;
+  RolloutResult result;
+  h.controller.Rollout(prog, 0, {}, [&](StatusOr<RolloutResult> r) {
+    ASSERT_TRUE(r.ok());
+    result = r.value();
+    done = true;
+  });
+  while (!done && !h.events.Empty()) h.events.Step();
+  // Base 5ms + jitter + verify: the window is tens of ms at least.
+  EXPECT_GT(result.inconsistency_window, sim::Millis(8));
+}
+
+TEST(Controller, WavesRollOutSequentially) {
+  // Deterministic propagation (no jitter) so two sequential waves are
+  // strictly slower than one parallel wave.
+  ControllerConfig config;
+  config.push_jitter_mean = 0;
+  ControllerHarness h(4, config);
+  bpf::Program prog = TinyProgram(1);
+  // Two waves: {0,1} then {2,3}.
+  std::vector<std::vector<std::size_t>> waves = {{0, 1}, {2, 3}};
+  bool done = false;
+  RolloutResult unordered_result, waved_result;
+  h.controller.Rollout(prog, 0, waves, [&](StatusOr<RolloutResult> r) {
+    ASSERT_TRUE(r.ok());
+    waved_result = r.value();
+    done = true;
+  });
+  while (!done && !h.events.Empty()) h.events.Step();
+
+  done = false;
+  h.controller.Rollout(prog, 1, {}, [&](StatusOr<RolloutResult> r) {
+    ASSERT_TRUE(r.ok());
+    unordered_result = r.value();
+    done = true;
+  });
+  while (!done && !h.events.Empty()) h.events.Step();
+  // Sequential waves take longer than one parallel wave.
+  EXPECT_GT(waved_result.total, unordered_result.total);
+  EXPECT_EQ(waved_result.nodes, 4u);
+}
+
+TEST(Controller, RolloutPropagatesAgentFailure) {
+  ControllerHarness h(3);
+  bpf::Program bad;
+  bad.name = "bad";
+  bad.insns = bpf::Assemble("r0 = r9\nexit\n").value();
+  bool done = false;
+  h.controller.Rollout(bad, 0, {}, [&](StatusOr<RolloutResult> r) {
+    EXPECT_FALSE(r.ok());
+    done = true;
+  });
+  while (!done && !h.events.Empty()) h.events.Step();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace rdx::agent

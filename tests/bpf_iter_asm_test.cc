@@ -1,0 +1,191 @@
+// Map iteration (get_next_key analog + Dump), assembler error handling,
+// and disassembler golden-output checks.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bpf/assembler.h"
+#include "bpf/maps.h"
+
+namespace rdx::bpf {
+namespace {
+
+Bytes Key32(std::uint32_t k) {
+  Bytes key(4);
+  StoreLE(key.data(), k);
+  return key;
+}
+
+Bytes Value64(std::uint64_t v) {
+  Bytes value(8);
+  StoreLE(value.data(), v);
+  return value;
+}
+
+// ---- NextKey / Dump ----
+
+TEST(MapIteration, ArrayWalksAllIndices) {
+  LocalMap map(MapSpec{"a", MapType::kArray, 4, 8, 5});
+  Bytes key(4);
+  Bytes prev;
+  std::vector<std::uint32_t> seen;
+  while (map.view().NextKey(prev, key).ok()) {
+    seen.push_back(LoadLE<std::uint32_t>(key.data()));
+    prev = key;
+  }
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(MapIteration, EmptyHashExhaustsImmediately) {
+  LocalMap map(MapSpec{"h", MapType::kHash, 4, 8, 8});
+  Bytes key(4);
+  EXPECT_EQ(map.view().NextKey({}, key).code(), StatusCode::kNotFound);
+}
+
+TEST(MapIteration, HashVisitsEveryKeyExactlyOnce) {
+  LocalMap map(MapSpec{"h", MapType::kHash, 4, 8, 32});
+  std::set<std::uint32_t> inserted;
+  for (std::uint32_t k = 0; k < 32; ++k) {
+    ASSERT_TRUE(map.view().Update(Key32(k * 13), Value64(k)).ok());
+    inserted.insert(k * 13);
+  }
+  std::set<std::uint32_t> seen;
+  Bytes key(4);
+  Bytes prev;
+  while (map.view().NextKey(prev, key).ok()) {
+    const std::uint32_t k = LoadLE<std::uint32_t>(key.data());
+    EXPECT_TRUE(seen.insert(k).second) << "duplicate key " << k;
+    prev = key;
+  }
+  EXPECT_EQ(seen, inserted);
+}
+
+TEST(MapIteration, SurvivesDeletionOfPrevKey) {
+  LocalMap map(MapSpec{"h", MapType::kHash, 4, 8, 8});
+  for (std::uint32_t k = 0; k < 6; ++k) {
+    ASSERT_TRUE(map.view().Update(Key32(k), Value64(k)).ok());
+  }
+  Bytes key(4);
+  ASSERT_TRUE(map.view().NextKey({}, key).ok());
+  Bytes first = key;
+  // Delete the key we are iterating from; iteration restarts but still
+  // terminates and yields live keys only.
+  ASSERT_TRUE(map.view().Delete(first).ok());
+  std::set<std::uint32_t> seen;
+  Bytes prev = first;
+  int guard = 0;
+  while (map.view().NextKey(prev, key).ok() && guard++ < 100) {
+    seen.insert(LoadLE<std::uint32_t>(key.data()));
+    prev = key;
+  }
+  EXPECT_LT(guard, 100);
+  EXPECT_EQ(seen.count(LoadLE<std::uint32_t>(first.data())), 0u);
+  EXPECT_GE(seen.size(), 4u);
+}
+
+TEST(MapIteration, KeyBufferSizeChecked) {
+  LocalMap map(MapSpec{"h", MapType::kHash, 4, 8, 8});
+  Bytes small(2);
+  EXPECT_FALSE(map.view().NextKey({}, small).ok());
+}
+
+TEST(MapDump, ReturnsAllPairs) {
+  LocalMap map(MapSpec{"h", MapType::kHash, 4, 8, 16});
+  for (std::uint32_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(map.view().Update(Key32(k), Value64(k * 7)).ok());
+  }
+  auto dump = map.view().Dump();
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  ASSERT_EQ(dump->size(), 10u);
+  for (const auto& [key, value] : *dump) {
+    EXPECT_EQ(LoadLE<std::uint64_t>(value.data()),
+              LoadLE<std::uint32_t>(key.data()) * 7);
+  }
+}
+
+TEST(MapDump, ArrayIncludesZeroSlots) {
+  LocalMap map(MapSpec{"a", MapType::kArray, 4, 8, 3});
+  ASSERT_TRUE(map.view().Update(Key32(1), Value64(42)).ok());
+  auto dump = map.view().Dump();
+  ASSERT_TRUE(dump.ok());
+  ASSERT_EQ(dump->size(), 3u);
+  EXPECT_EQ(LoadLE<std::uint64_t>((*dump)[0].second.data()), 0u);
+  EXPECT_EQ(LoadLE<std::uint64_t>((*dump)[1].second.data()), 42u);
+}
+
+// ---- assembler error handling ----
+
+TEST(AssemblerErrors, ReportLineNumbers) {
+  auto result = Assemble("r0 = 1\nbogus statement here\nexit\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(AssemblerErrors, RejectMalformedInput) {
+  const char* bad[] = {
+      "r11 = 1\nexit\n",              // register out of range
+      "r0 = \nexit\n",                // missing operand
+      "goto\n",                       // missing label
+      "goto nowhere\nexit\n",         // unknown label
+      "if r0 == goto x\nx:\nexit\n",  // missing operand
+      "call made_up_helper\nexit\n",  // unknown helper name
+      "r0 = *(u7*)(r1 + 0)\nexit\n",  // bad size
+      "*(u32*)(r1 * 4) = 1\nexit\n",  // bad displacement operator
+      "x:\nx:\nexit\n",               // duplicate label
+      "r0 += q5\nexit\n",             // garbage operand
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(Assemble(text).ok()) << text;
+  }
+}
+
+TEST(AssemblerErrors, MixedWidthBranchOperandsRejected) {
+  EXPECT_FALSE(Assemble("r1 = 1\nw2 = 1\nif r1 == w2 goto x\nx:\nexit\n")
+                   .ok());
+}
+
+TEST(AssemblerRoundTrip, DisassembleOfAssembledMatchesShape) {
+  auto insns = Assemble(R"(
+    r6 = *(u32*)(r1 + 4)
+    w7 = 10
+    r6 &= 255
+    if w6 s< 3 goto out
+    r0 = be32 r0
+    *(u64*)(r10 - 8) = r6
+    r0 = *(u64*)(r10 - 8)
+    exit
+  out:
+    r0 = 0
+    exit
+  )");
+  ASSERT_TRUE(insns.ok()) << insns.status().ToString();
+  const std::string text = DisassembleProgram(insns.value());
+  EXPECT_NE(text.find("r6 = *(u32*)(r1 +4)"), std::string::npos) << text;
+  EXPECT_NE(text.find("r7 = 10 (w)"), std::string::npos) << text;
+  EXPECT_NE(text.find("if w6 s< 3 goto"), std::string::npos) << text;
+  EXPECT_NE(text.find("r0 = be32 r0"), std::string::npos) << text;
+  EXPECT_NE(text.find("exit"), std::string::npos) << text;
+}
+
+TEST(Disassembler, GoldenLines) {
+  EXPECT_EQ(Disassemble(MovImm(3, -7)), "r3 = -7");
+  EXPECT_EQ(Disassemble(AluReg(kAluXor, 1, 2)), "r1 ^= r2");
+  EXPECT_EQ(Disassemble(AluImm(kAluLsh, 4, 5, /*is64=*/false)),
+            "r4 <<= 5 (w)");
+  EXPECT_EQ(Disassemble(JmpImm(kJmpJsge, 2, -1, 5)),
+            "if r2 s>= -1 goto +5");
+  EXPECT_EQ(Disassemble(Jmp32Reg(kJmpJlt, 1, 2, -3)),
+            "if w1 < w2 goto -3");
+  EXPECT_EQ(Disassemble(Endian(5, 64, true)), "r5 = be64 r5");
+  EXPECT_EQ(Disassemble(Call(1)), "call helper#1");
+  EXPECT_EQ(Disassemble(Exit()), "exit");
+  EXPECT_EQ(Disassemble(LoadMem(kSizeH, 0, 1, 12)),
+            "r0 = *(u16*)(r1 +12)");
+  EXPECT_EQ(Disassemble(StoreMemReg(kSizeDw, 10, 6, -16)),
+            "*(u64*)(r10 -16) = r6");
+  EXPECT_EQ(Disassemble(LoadMapFd(1, 2).first), "r1 = map[2]");
+}
+
+}  // namespace
+}  // namespace rdx::bpf

@@ -1,0 +1,559 @@
+// Verifier rule coverage: one test per safety rule the abstract
+// interpreter enforces, plus acceptance tests and complexity behaviour.
+// Every rejected program here would crash, loop, or leak if executed.
+#include <gtest/gtest.h>
+
+#include "bpf/assembler.h"
+#include "bpf/proggen.h"
+#include "bpf/verifier.h"
+
+namespace rdx::bpf {
+namespace {
+
+Program Prog(std::string_view asm_text,
+             std::vector<MapSpec> maps = {}) {
+  Program prog;
+  prog.name = "test";
+  prog.maps = std::move(maps);
+  auto insns = Assemble(asm_text);
+  EXPECT_TRUE(insns.ok()) << insns.status().ToString();
+  prog.insns = std::move(insns).value();
+  return prog;
+}
+
+MapSpec DefaultMap() { return {"m", MapType::kArray, 4, 8, 16}; }
+
+Status Verify(const Program& prog) { return Verifier().Verify(prog); }
+
+#define EXPECT_REJECTED(prog, fragment)                                \
+  do {                                                                 \
+    Status status_ = Verify(prog);                                     \
+    EXPECT_FALSE(status_.ok());                                        \
+    EXPECT_NE(status_.message().find(fragment), std::string::npos)     \
+        << "actual: " << status_.ToString();                           \
+  } while (0)
+
+// ---- structural rules ----
+
+TEST(VerifierStructure, EmptyProgramRejected) {
+  Program prog;
+  EXPECT_FALSE(Verify(prog).ok());
+}
+
+TEST(VerifierStructure, JumpOutOfBounds) {
+  Program prog;
+  prog.insns = {JmpImm(kJmpJeq, 0, 0, 100), Exit()};
+  EXPECT_REJECTED(prog, "out of program bounds");
+}
+
+TEST(VerifierStructure, JumpIntoLdImm64Second) {
+  Program prog;
+  auto [lo, hi] = LoadImm64(1, 42);
+  // The branch target (pc 1 + 1 + off 1 = 3) is the hi slot of LD_IMM64.
+  prog.insns = {MovImm(0, 0), JmpImm(kJmpJeq, 0, 0, 1), lo, hi, Exit()};
+  EXPECT_REJECTED(prog, "middle of LD_IMM64");
+}
+
+TEST(VerifierStructure, TruncatedLdImm64) {
+  Program prog;
+  auto [lo, hi] = LoadImm64(1, 42);
+  (void)hi;
+  prog.insns = {lo};
+  EXPECT_REJECTED(prog, "truncated");
+}
+
+TEST(VerifierStructure, BackEdgeRejectedByDefault) {
+  EXPECT_REJECTED(Prog("top:\nr0 = 0\ngoto top\n"), "back edge");
+}
+
+TEST(VerifierStructure, BackEdgeAllowedWithConfig) {
+  Program prog = Prog(R"(
+    r0 = 3
+  top:
+    r0 -= 1
+    if r0 != 0 goto top
+    exit
+  )");
+  EXPECT_FALSE(Verifier().Verify(prog).ok());
+  VerifierConfig config;
+  config.allow_back_edges = true;
+  EXPECT_TRUE(Verifier(config).Verify(prog).ok());
+}
+
+TEST(VerifierStructure, DivisionByConstantZero) {
+  EXPECT_REJECTED(Prog("r0 = 1\nr0 /= 0\nexit\n"), "division by constant");
+  EXPECT_REJECTED(Prog("r0 = 1\nr0 %= 0\nexit\n"), "division by constant");
+}
+
+TEST(VerifierStructure, ImmediateShiftOutOfRange) {
+  EXPECT_REJECTED(Prog("r0 = 1\nr0 <<= 64\nexit\n"), "shift amount");
+  EXPECT_REJECTED(Prog("w0 = 1\nw0 <<= 32\nexit\n"), "shift amount");
+  EXPECT_TRUE(Verify(Prog("r0 = 1\nr0 <<= 63\nexit\n")).ok());
+}
+
+TEST(VerifierStructure, WriteToFramePointer) {
+  EXPECT_REJECTED(Prog("r10 = 5\nexit\n"), "frame pointer");
+  EXPECT_REJECTED(Prog("r10 += 8\nexit\n"), "frame pointer");
+}
+
+TEST(VerifierStructure, UnknownHelperRejected) {
+  EXPECT_REJECTED(Prog("call 4242\nexit\n"), "unknown helper");
+}
+
+TEST(VerifierStructure, FallsOffTheEnd) {
+  Program prog;
+  prog.insns = {MovImm(0, 1)};
+  EXPECT_REJECTED(prog, "falls off");
+}
+
+// ---- register initialization ----
+
+TEST(VerifierInit, UninitializedReadRejected) {
+  EXPECT_REJECTED(Prog("r0 = r5\nexit\n"), "uninitialized");
+}
+
+TEST(VerifierInit, UninitializedAluOperand) {
+  EXPECT_REJECTED(Prog("r0 = 1\nr0 += r3\nexit\n"), "uninitialized");
+}
+
+TEST(VerifierInit, UninitializedBranchOperand) {
+  EXPECT_REJECTED(Prog("r0 = 0\nif r4 == 0 goto out\nout:\nexit\n"),
+                  "uninitialized");
+}
+
+TEST(VerifierInit, UninitializedStore) {
+  EXPECT_REJECTED(Prog("*(u64*)(r10 - 8) = r3\nr0 = 0\nexit\n"),
+                  "uninitialized");
+}
+
+TEST(VerifierInit, HelperClobbersCallerSaved) {
+  // Using r1 after a call must be rejected: helpers clobber r1-r5.
+  EXPECT_REJECTED(Prog(R"(
+    r1 = 1
+    call trace_printk
+    r0 = r1
+    exit
+  )"), "uninitialized");
+}
+
+TEST(VerifierInit, CalleeSavedSurviveCalls) {
+  EXPECT_TRUE(Verify(Prog(R"(
+    r6 = 1
+    call trace_printk
+    r0 = r6
+    exit
+  )")).ok());
+}
+
+TEST(VerifierInit, ExitWithoutR0) {
+  EXPECT_REJECTED(Prog("r1 = 1\nexit\n"), "r0");
+}
+
+TEST(VerifierInit, R1IsCtxAtEntry) {
+  EXPECT_TRUE(Verify(Prog("r0 = *(u32*)(r1 + 0)\nexit\n")).ok());
+}
+
+// ---- stack discipline ----
+
+TEST(VerifierStack, ReadOfUninitializedStack) {
+  EXPECT_REJECTED(Prog("r0 = *(u64*)(r10 - 8)\nexit\n"),
+                  "uninitialized stack");
+}
+
+TEST(VerifierStack, PartialInitializationDetected) {
+  // Write 4 bytes, read 8: the upper half is uninitialized.
+  EXPECT_REJECTED(Prog(R"(
+    *(u32*)(r10 - 8) = 1
+    r0 = *(u64*)(r10 - 8)
+    exit
+  )"), "uninitialized stack");
+}
+
+TEST(VerifierStack, OutOfBoundsBelow) {
+  EXPECT_REJECTED(Prog("*(u64*)(r10 - 520) = 1\nr0 = 0\nexit\n"),
+                  "stack access out of bounds");
+}
+
+TEST(VerifierStack, OverflowAboveFramePointer) {
+  EXPECT_REJECTED(Prog("*(u64*)(r10 + 0) = 1\nr0 = 0\nexit\n"),
+                  "stack access out of bounds");
+  EXPECT_REJECTED(Prog("*(u64*)(r10 - 4) = 1\nr0 = 0\nexit\n"),
+                  "stack access out of bounds");
+}
+
+TEST(VerifierStack, FullDepthUsable) {
+  EXPECT_TRUE(Verify(Prog(R"(
+    *(u64*)(r10 - 512) = 1
+    r0 = *(u64*)(r10 - 512)
+    exit
+  )")).ok());
+}
+
+TEST(VerifierStack, DerivedStackPointerTracked) {
+  EXPECT_TRUE(Verify(Prog(R"(
+    r2 = r10
+    r2 += -16
+    *(u64*)(r2 + 0) = r2
+  )", {})).ok() == false);  // storing a pointer: separate rule
+  EXPECT_TRUE(Verify(Prog(R"(
+    r2 = r10
+    r2 += -16
+    *(u64*)(r2 + 8) = 7
+    r0 = *(u64*)(r2 + 8)
+    exit
+  )")).ok());
+}
+
+TEST(VerifierStack, PointerSpillRejected) {
+  EXPECT_REJECTED(Prog(R"(
+    *(u64*)(r10 - 8) = r1
+    r0 = 0
+    exit
+  )"), "spill");
+}
+
+// ---- ctx access ----
+
+TEST(VerifierCtx, InBoundsReadAccepted) {
+  EXPECT_TRUE(Verify(Prog("r0 = *(u32*)(r1 + 252)\nexit\n")).ok());
+}
+
+TEST(VerifierCtx, OutOfBoundsReadRejected) {
+  EXPECT_REJECTED(Prog("r0 = *(u32*)(r1 + 253)\nexit\n"),
+                  "ctx access out of bounds");
+  EXPECT_REJECTED(Prog("r0 = *(u8*)(r1 - 1)\nexit\n"),
+                  "ctx access out of bounds");
+}
+
+TEST(VerifierCtx, WriteRejected) {
+  EXPECT_REJECTED(Prog("*(u32*)(r1 + 0) = 1\nr0 = 0\nexit\n"),
+                  "read-only ctx");
+}
+
+TEST(VerifierCtx, DerivedCtxPointerBoundsTracked) {
+  EXPECT_REJECTED(Prog(R"(
+    r1 += 200
+    r0 = *(u64*)(r1 + 56)
+    exit
+  )"), "ctx access out of bounds");
+  EXPECT_TRUE(Verify(Prog(R"(
+    r1 += 200
+    r0 = *(u64*)(r1 + 48)
+    exit
+  )")).ok());
+}
+
+// ---- pointer discipline ----
+
+TEST(VerifierPtr, PointerAsScalarOperandRejected) {
+  EXPECT_REJECTED(Prog("r0 = 1\nr0 += r1\nexit\n"), "pointer used as scalar");
+}
+
+TEST(VerifierPtr, PointerComparisonRejected) {
+  EXPECT_REJECTED(Prog("if r1 == 0 goto out\nout:\nr0 = 0\nexit\n"),
+                  "comparison on pointer");
+}
+
+TEST(VerifierPtr, PointerArithmeticWithRegisterRejected) {
+  EXPECT_REJECTED(Prog(R"(
+    r2 = 8
+    r1 += r2
+    r0 = 0
+    exit
+  )"), "pointer arithmetic must be +/- constant");
+}
+
+TEST(VerifierPtr, ThirtyTwoBitPointerMoveRejected) {
+  EXPECT_REJECTED(Prog("w2 = w1\nr0 = 0\nexit\n"), "truncates pointer");
+}
+
+TEST(VerifierPtr, ThirtyTwoBitPointerArithmeticRejected) {
+  EXPECT_REJECTED(Prog("w1 += 4\nr0 = 0\nexit\n"),
+                  "32-bit arithmetic on pointer");
+}
+
+// ---- maps and helpers ----
+
+TEST(VerifierMap, WellFormedLookupAccepted) {
+  EXPECT_TRUE(Verify(Prog(R"(
+    *(u32*)(r10 - 4) = 1
+    r1 = map 0
+    r2 = r10
+    r2 += -4
+    call map_lookup_elem
+    if r0 == 0 goto out
+    r0 = *(u64*)(r0 + 0)
+  out:
+    r0 = 0
+    exit
+  )", {DefaultMap()})).ok());
+}
+
+TEST(VerifierMap, MissingNullCheck) {
+  EXPECT_REJECTED(Prog(R"(
+    *(u32*)(r10 - 4) = 1
+    r1 = map 0
+    r2 = r10
+    r2 += -4
+    call map_lookup_elem
+    r0 = *(u64*)(r0 + 0)
+    exit
+  )", {DefaultMap()}), "possibly-null");
+}
+
+TEST(VerifierMap, InvertedNullCheckAlsoWorks) {
+  EXPECT_TRUE(Verify(Prog(R"(
+    *(u32*)(r10 - 4) = 1
+    r1 = map 0
+    r2 = r10
+    r2 += -4
+    call map_lookup_elem
+    if r0 != 0 goto use
+    r0 = 0
+    exit
+  use:
+    r0 = *(u64*)(r0 + 0)
+    exit
+  )", {DefaultMap()})).ok());
+}
+
+TEST(VerifierMap, ValueAccessOutOfBounds) {
+  EXPECT_REJECTED(Prog(R"(
+    *(u32*)(r10 - 4) = 1
+    r1 = map 0
+    r2 = r10
+    r2 += -4
+    call map_lookup_elem
+    if r0 == 0 goto out
+    r0 = *(u64*)(r0 + 8)
+  out:
+    r0 = 0
+    exit
+  )", {DefaultMap()}), "map value access out of bounds");
+}
+
+TEST(VerifierMap, ValueWritesAllowedInBounds) {
+  EXPECT_TRUE(Verify(Prog(R"(
+    *(u32*)(r10 - 4) = 1
+    r1 = map 0
+    r2 = r10
+    r2 += -4
+    call map_lookup_elem
+    if r0 == 0 goto out
+    *(u64*)(r0 + 0) = 9
+  out:
+    r0 = 0
+    exit
+  )", {DefaultMap()})).ok());
+}
+
+TEST(VerifierMap, SlotOutOfRange) {
+  EXPECT_REJECTED(Prog(R"(
+    r1 = map 3
+    r0 = 0
+    exit
+  )", {DefaultMap()}), "map slot out of range");
+}
+
+TEST(VerifierMap, HelperNeedsMapHandleInR1) {
+  EXPECT_REJECTED(Prog(R"(
+    r1 = 5
+    r2 = r10
+    r2 += -4
+    *(u32*)(r10 - 4) = 0
+    call map_lookup_elem
+    r0 = 0
+    exit
+  )", {DefaultMap()}), "map handle");
+}
+
+TEST(VerifierMap, KeyMustBeInitializedStack) {
+  EXPECT_REJECTED(Prog(R"(
+    r1 = map 0
+    r2 = r10
+    r2 += -4
+    call map_lookup_elem
+    r0 = 0
+    exit
+  )", {DefaultMap()}), "uninitialized stack");
+}
+
+TEST(VerifierMap, KeyMustBeMemoryPointer) {
+  EXPECT_REJECTED(Prog(R"(
+    r1 = map 0
+    r2 = 1234
+    call map_lookup_elem
+    r0 = 0
+    exit
+  )", {DefaultMap()}), "must point to stack or map value");
+}
+
+TEST(VerifierMap, MapHandleDerefRejected) {
+  EXPECT_REJECTED(Prog(R"(
+    r1 = map 0
+    r0 = *(u64*)(r1 + 0)
+    exit
+  )", {DefaultMap()}), "map handle");
+}
+
+// ---- JMP32 / BPF_END rules ----
+
+TEST(VerifierJmp32, ConditionalAccepted) {
+  EXPECT_TRUE(Verify(Prog(R"(
+    r1 = 5
+    if w1 == 5 goto yes
+    r0 = 0
+    exit
+  yes:
+    r0 = 1
+    exit
+  )")).ok());
+}
+
+TEST(VerifierJmp32, NoExitOrCallInJmp32Class) {
+  Program prog;
+  Insn bad_exit;
+  bad_exit.opcode = kClassJmp32 | kJmpExit;
+  prog.insns = {MovImm(0, 0), bad_exit};
+  EXPECT_REJECTED(prog, "invalid JMP operation");
+  Insn bad_ja;
+  bad_ja.opcode = kClassJmp32 | kJmpJa;
+  prog.insns = {MovImm(0, 0), bad_ja, Exit()};
+  EXPECT_REJECTED(prog, "invalid JMP operation");
+}
+
+TEST(VerifierJmp32, PointerComparisonStillRejected) {
+  EXPECT_REJECTED(Prog(R"(
+    if w1 == 0 goto out
+  out:
+    r0 = 0
+    exit
+  )"), "comparison on pointer");
+}
+
+TEST(VerifierJmp32, NullCheckRefinementRequires64BitCompare) {
+  // A 32-bit null check is NOT a valid null check (the kernel agrees:
+  // pointer comparisons must be full-width).
+  EXPECT_REJECTED(Prog(R"(
+    *(u32*)(r10 - 4) = 1
+    r1 = map 0
+    r2 = r10
+    r2 += -4
+    call map_lookup_elem
+    if w0 == 0 goto out
+    r0 = *(u64*)(r0 + 0)
+  out:
+    r0 = 0
+    exit
+  )", {DefaultMap()}), "");
+}
+
+TEST(VerifierEndian, ValidWidthsAccepted) {
+  EXPECT_TRUE(Verify(Prog("r0 = 1\nr0 = be16 r0\nexit\n")).ok());
+  EXPECT_TRUE(Verify(Prog("r0 = 1\nr0 = le64 r0\nexit\n")).ok());
+}
+
+TEST(VerifierEndian, BadWidthRejected) {
+  Program prog;
+  prog.insns = {MovImm(0, 1), Endian(0, 24, true), Exit()};
+  EXPECT_REJECTED(prog, "byte-swap width");
+}
+
+TEST(VerifierEndian, SwapOnPointerRejected) {
+  Program prog;
+  prog.insns = {Endian(1, 16, true), MovImm(0, 0), Exit()};
+  EXPECT_REJECTED(prog, "byte-swap on pointer");
+}
+
+TEST(VerifierEndian, SwapOnUninitRejected) {
+  Program prog;
+  prog.insns = {Endian(3, 16, true), MovImm(0, 0), Exit()};
+  EXPECT_FALSE(Verify(prog).ok());
+}
+
+// ---- state merging across branches ----
+
+TEST(VerifierMerge, BranchesWithCompatibleStatesAccepted) {
+  EXPECT_TRUE(Verify(Prog(R"(
+    r0 = *(u32*)(r1 + 0)
+    if r0 == 0 goto a
+    r2 = 1
+    goto join
+  a:
+    r2 = 2
+  join:
+    r0 = r2
+    exit
+  )")).ok());
+}
+
+TEST(VerifierMerge, ConflictingTypesUnusableAfterJoin) {
+  // r2 is scalar on one path, ctx pointer on the other; using it as a
+  // load base after the join must be rejected.
+  EXPECT_REJECTED(Prog(R"(
+    r0 = *(u32*)(r1 + 0)
+    if r0 == 0 goto a
+    r2 = 1
+    goto join
+  a:
+    r2 = r1
+  join:
+    r0 = *(u32*)(r2 + 0)
+    exit
+  )"), "");
+}
+
+TEST(VerifierMerge, NullCheckRefinementPerPath) {
+  // After "if r0 == 0", the taken path must NOT be allowed to deref.
+  EXPECT_REJECTED(Prog(R"(
+    *(u32*)(r10 - 4) = 1
+    r1 = map 0
+    r2 = r10
+    r2 += -4
+    call map_lookup_elem
+    if r0 != 0 goto use
+    r0 = *(u64*)(r0 + 0)
+    exit
+  use:
+    r0 = 0
+    exit
+  )", {DefaultMap()}), "");
+}
+
+// ---- stats + generated programs ----
+
+TEST(VerifierStats, WorkGrowsWithProgramSize) {
+  VerifierStats small_stats, large_stats;
+  Program small = GenerateProgram({.target_insns = 1000, .seed = 1});
+  Program large = GenerateProgram({.target_insns = 20000, .seed = 1});
+  ASSERT_TRUE(Verifier().Verify(small, &small_stats).ok());
+  ASSERT_TRUE(Verifier().Verify(large, &large_stats).ok());
+  EXPECT_GT(large_stats.insns_processed, small_stats.insns_processed * 5);
+}
+
+TEST(VerifierStats, ComplexityCapTriggers) {
+  VerifierConfig config;
+  config.max_visited = 100;
+  Program prog = GenerateProgram({.target_insns = 5000, .seed = 1});
+  EXPECT_EQ(Verifier(config).Verify(prog).code(),
+            StatusCode::kResourceExhausted);
+}
+
+class GeneratedPrograms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratedPrograms, AlwaysVerify) {
+  for (std::size_t size : {500, 2000, 8000}) {
+    Program prog =
+        GenerateProgram({.target_insns = size, .seed = GetParam()});
+    EXPECT_EQ(prog.insns.size(), size);
+    Status status = Verify(prog);
+    EXPECT_TRUE(status.ok())
+        << "size " << size << ": " << status.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedPrograms,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace rdx::bpf

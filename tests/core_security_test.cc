@@ -1,0 +1,309 @@
+// §5 security layer tests: role-based gatekeeper + audit log, image
+// signing end-to-end (sandbox refuses unsigned/forged images), and the
+// remote Inspector detecting in-memory tampering.
+#include <gtest/gtest.h>
+
+#include "bpf/assembler.h"
+#include "core/gatekeeper.h"
+#include "core/inspector.h"
+
+namespace rdx::core {
+namespace {
+
+// ---- Gatekeeper ----
+
+TEST(Gatekeeper, RoleMatrix) {
+  Gatekeeper gate;
+  gate.AddPrincipal("alice", Role::kOperator);
+  gate.AddPrincipal("bob", Role::kDeployer);
+  gate.AddPrincipal("carol", Role::kObserver);
+
+  // Operator: everything.
+  for (Operation op : {Operation::kDeploy, Operation::kDetach,
+                       Operation::kRollback, Operation::kXStateRead,
+                       Operation::kXStateWrite, Operation::kLock,
+                       Operation::kBroadcast}) {
+    EXPECT_TRUE(gate.Authorize("alice", op).ok()) << OperationName(op);
+  }
+  // Deployer: deploy/detach/read only.
+  EXPECT_TRUE(gate.Authorize("bob", Operation::kDeploy).ok());
+  EXPECT_TRUE(gate.Authorize("bob", Operation::kDetach).ok());
+  EXPECT_TRUE(gate.Authorize("bob", Operation::kXStateRead).ok());
+  EXPECT_FALSE(gate.Authorize("bob", Operation::kRollback).ok());
+  EXPECT_FALSE(gate.Authorize("bob", Operation::kXStateWrite).ok());
+  EXPECT_FALSE(gate.Authorize("bob", Operation::kBroadcast).ok());
+  // Observer: reads only.
+  EXPECT_TRUE(gate.Authorize("carol", Operation::kXStateRead).ok());
+  EXPECT_FALSE(gate.Authorize("carol", Operation::kDeploy).ok());
+}
+
+TEST(Gatekeeper, UnknownPrincipalDenied) {
+  Gatekeeper gate;
+  Status s = gate.Authorize("mallory", Operation::kXStateRead);
+  EXPECT_EQ(s.code(), StatusCode::kPermissionDenied);
+}
+
+TEST(Gatekeeper, RemovedPrincipalDenied) {
+  Gatekeeper gate;
+  gate.AddPrincipal("alice", Role::kOperator);
+  EXPECT_TRUE(gate.Authorize("alice", Operation::kDeploy).ok());
+  EXPECT_TRUE(gate.RemovePrincipal("alice").ok());
+  EXPECT_FALSE(gate.Authorize("alice", Operation::kDeploy).ok());
+  EXPECT_FALSE(gate.RemovePrincipal("alice").ok());
+}
+
+TEST(Gatekeeper, InstructionBudgetEnforced) {
+  Gatekeeper gate;
+  gate.AddPrincipal("bob", Role::kDeployer, /*max_insns=*/5000);
+  EXPECT_TRUE(gate.Authorize("bob", Operation::kDeploy, 4999).ok());
+  EXPECT_EQ(gate.Authorize("bob", Operation::kDeploy, 5001).code(),
+            StatusCode::kResourceExhausted);
+  // Budget applies to deploy-class ops only.
+  EXPECT_TRUE(gate.Authorize("bob", Operation::kXStateRead, 999999).ok());
+}
+
+TEST(Gatekeeper, AuditLogRecordsDecisions) {
+  Gatekeeper gate;
+  gate.AddPrincipal("carol", Role::kObserver);
+  (void)gate.Authorize("carol", Operation::kXStateRead);
+  (void)gate.Authorize("carol", Operation::kDeploy);
+  (void)gate.Authorize("nobody", Operation::kDeploy);
+  ASSERT_EQ(gate.audit_log().size(), 3u);
+  EXPECT_TRUE(gate.audit_log()[0].allowed);
+  EXPECT_FALSE(gate.audit_log()[1].allowed);
+  EXPECT_FALSE(gate.audit_log()[2].allowed);
+  EXPECT_EQ(gate.denied_count(), 2u);
+  EXPECT_EQ(gate.audit_log()[1].principal, "carol");
+}
+
+// ---- signing primitives ----
+
+TEST(Signing, RoundTrip) {
+  Bytes image = {1, 2, 3, 4, 5};
+  const std::uint64_t sig = SignImage(image, 0xabc123);
+  EXPECT_TRUE(VerifyImageSignature(image, 0xabc123, sig));
+}
+
+TEST(Signing, WrongKeyFails) {
+  Bytes image = {1, 2, 3};
+  const std::uint64_t sig = SignImage(image, 111);
+  EXPECT_FALSE(VerifyImageSignature(image, 222, sig));
+}
+
+TEST(Signing, TamperedImageFails) {
+  Bytes image(256, 7);
+  const std::uint64_t sig = SignImage(image, 42);
+  image[100] ^= 1;
+  EXPECT_FALSE(VerifyImageSignature(image, 42, sig));
+}
+
+// ---- end-to-end signing + inspection ----
+
+struct SecureRig {
+  static constexpr std::uint64_t kKey = 0x5ec2e7;
+
+  sim::EventQueue events;
+  rdma::Fabric fabric{events};
+  std::unique_ptr<ControlPlane> cp;
+  std::unique_ptr<Sandbox> sandbox;
+  CodeFlow* flow = nullptr;
+
+  explicit SecureRig(std::uint64_t cp_key = kKey,
+                     std::uint64_t sandbox_key = kKey) {
+    const rdma::NodeId cp_id = fabric.AddNode("cp", 64u << 20).id();
+    ControlPlaneConfig config;
+    config.signing_key = cp_key;
+    cp = std::make_unique<ControlPlane>(events, fabric, cp_id, config);
+    rdma::Node& node = fabric.AddNode("n");
+    SandboxConfig sandbox_config;
+    sandbox_config.signing_key = sandbox_key;
+    sandbox = std::make_unique<Sandbox>(events, node, sandbox_config);
+    EXPECT_TRUE(sandbox->CtxInit().ok());
+    auto reg = sandbox->CtxRegister();
+    cp->CreateCodeFlow(*sandbox, reg.value(), [&](StatusOr<CodeFlow*> f) {
+      if (f.ok()) flow = f.value();
+    });
+    events.Run();
+    EXPECT_NE(flow, nullptr);
+  }
+
+  void Inject(std::uint64_t ret, int hook = 0) {
+    bpf::Program prog;
+    prog.name = "r" + std::to_string(ret);
+    prog.insns =
+        bpf::Assemble("r0 = " + std::to_string(ret) + "\nexit\n").value();
+    bool done = false;
+    cp->InjectExtension(*flow, prog, hook, [&](StatusOr<InjectTrace> r) {
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      done = true;
+    });
+    events.Run();
+    ASSERT_TRUE(done);
+  }
+};
+
+TEST(SigningEndToEnd, SignedImageExecutes) {
+  SecureRig rig;
+  rig.Inject(7);
+  Bytes packet(4, 0);
+  auto result = rig.sandbox->ExecuteHook(0, packet);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->r0, 7u);
+  EXPECT_EQ(rig.sandbox->stats().signature_failures, 0u);
+}
+
+TEST(SigningEndToEnd, UnsignedControlPlaneRejected) {
+  // Control plane does not sign; sandbox requires signatures.
+  SecureRig rig(/*cp_key=*/0, /*sandbox_key=*/SecureRig::kKey);
+  rig.Inject(7);
+  Bytes packet(4, 0);
+  auto result = rig.sandbox->ExecuteHook(0, packet);
+  EXPECT_EQ(result.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_GT(rig.sandbox->stats().signature_failures, 0u);
+}
+
+TEST(SigningEndToEnd, KeyMismatchRejected) {
+  SecureRig rig(/*cp_key=*/1, /*sandbox_key=*/2);
+  rig.Inject(7);
+  Bytes packet(4, 0);
+  EXPECT_FALSE(rig.sandbox->ExecuteHook(0, packet).ok());
+}
+
+TEST(SigningEndToEnd, InMemoryTamperRejectedAtExecution) {
+  SecureRig rig;
+  rig.Inject(7);
+  // An attacker with memory reach flips a bit in the deployed image. The
+  // next (re)load must refuse it. Force a reload via version bump fake:
+  // corrupt then clear the decoded-image cache via a refresh of a
+  // changed desc — easiest is to tamper BEFORE first execution.
+  const std::uint64_t desc =
+      rig.sandbox->node().memory()
+          .ReadU64(rig.flow->remote_view().hook_table_addr)
+          .value();
+  const std::uint64_t image_addr =
+      rig.sandbox->node().memory().ReadU64(desc + kDescImageAddr).value();
+  Bytes byte(1, 0xff);
+  ASSERT_TRUE(
+      rig.sandbox->node().memory().Write(image_addr + 9, byte).ok());
+  Bytes packet(4, 0);
+  EXPECT_FALSE(rig.sandbox->ExecuteHook(0, packet).ok());
+}
+
+TEST(Inspector, HealthyDeploymentPasses) {
+  SecureRig rig;
+  rig.Inject(7);
+  Inspector inspector(*rig.cp);
+  bool done = false;
+  inspector.Inspect(*rig.flow, 0, [&](StatusOr<InspectReport> report) {
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->deployed);
+    EXPECT_TRUE(report->desc_matches);
+    EXPECT_TRUE(report->version_matches);
+    EXPECT_TRUE(report->checksum_ok);
+    EXPECT_TRUE(report->signature_ok);
+    EXPECT_TRUE(report->Healthy(/*signing_enabled=*/true));
+    done = true;
+  });
+  rig.events.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Inspector, EmptyHookReportsNotDeployed) {
+  SecureRig rig;
+  Inspector inspector(*rig.cp);
+  bool done = false;
+  inspector.Inspect(*rig.flow, 3, [&](StatusOr<InspectReport> report) {
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report->deployed);
+    done = true;
+  });
+  rig.events.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Inspector, DetectsImageTampering) {
+  SecureRig rig;
+  rig.Inject(7);
+  const std::uint64_t desc =
+      rig.sandbox->node().memory()
+          .ReadU64(rig.flow->remote_view().hook_table_addr)
+          .value();
+  const std::uint64_t image_addr =
+      rig.sandbox->node().memory().ReadU64(desc + kDescImageAddr).value();
+  Bytes byte(1, 0xaa);
+  ASSERT_TRUE(
+      rig.sandbox->node().memory().Write(image_addr + 12, byte).ok());
+
+  Inspector inspector(*rig.cp);
+  bool done = false;
+  inspector.Inspect(*rig.flow, 0, [&](StatusOr<InspectReport> report) {
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->deployed);
+    EXPECT_FALSE(report->checksum_ok);
+    EXPECT_FALSE(report->signature_ok);
+    EXPECT_FALSE(report->Healthy(true));
+    done = true;
+  });
+  rig.events.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Inspector, DetectsHookHijack) {
+  SecureRig rig;
+  rig.Inject(7);
+  // Attacker swings the hook slot to a desc the control plane never
+  // committed (placed inside the registered scratchpad, where an RDMA-
+  // capable attacker could write).
+  auto& mem = rig.sandbox->node().memory();
+  const ControlBlockView& cb = rig.flow->remote_view();
+  const std::uint64_t rogue = cb.scratch_addr + cb.scratch_size - 256;
+  ASSERT_TRUE(mem.WriteU64(rogue + kDescImageAddr, rogue).ok());
+  ASSERT_TRUE(mem.WriteU64(rogue + kDescImageLen, 16).ok());
+  ASSERT_TRUE(mem.WriteU64(rogue + kDescVersion, 99).ok());
+  ASSERT_TRUE(
+      mem.WriteU64(rig.flow->remote_view().hook_table_addr, rogue).ok());
+
+  Inspector inspector(*rig.cp);
+  bool done = false;
+  inspector.Inspect(*rig.flow, 0, [&](StatusOr<InspectReport> report) {
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->deployed);
+    EXPECT_FALSE(report->desc_matches);
+    EXPECT_FALSE(report->version_matches);
+    EXPECT_FALSE(report->Healthy(true));
+    done = true;
+  });
+  rig.events.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Inspector, SweepFlagsOnlyUnhealthyHooks) {
+  SecureRig rig;
+  rig.Inject(1, 0);
+  rig.Inject(2, 1);
+  rig.Inject(3, 2);
+  // Tamper with hook 1's image only.
+  const std::uint64_t desc =
+      rig.sandbox->node().memory()
+          .ReadU64(rig.flow->remote_view().hook_table_addr + 8)
+          .value();
+  const std::uint64_t image_addr =
+      rig.sandbox->node().memory().ReadU64(desc + kDescImageAddr).value();
+  Bytes byte(1, 0x55);
+  ASSERT_TRUE(
+      rig.sandbox->node().memory().Write(image_addr + 10, byte).ok());
+
+  Inspector inspector(*rig.cp);
+  bool done = false;
+  inspector.Sweep(*rig.flow, [&](StatusOr<std::vector<InspectReport>> bad) {
+    ASSERT_TRUE(bad.ok()) << bad.status().ToString();
+    ASSERT_EQ(bad->size(), 1u);
+    EXPECT_EQ((*bad)[0].hook, 1);
+    done = true;
+  });
+  rig.events.Run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace rdx::core

@@ -1,0 +1,441 @@
+// Tests for the simulated RDMA fabric: registration/permission checks,
+// one-sided READ/WRITE, two-sided SEND/RECV, atomics, RC ordering, and
+// error/flush semantics.
+#include <gtest/gtest.h>
+
+#include "rdma/fabric.h"
+
+namespace rdx::rdma {
+namespace {
+
+struct TwoNodes {
+  sim::EventQueue events;
+  Fabric fabric{events};
+  Node* a;
+  Node* b;
+  CompletionQueue* cq_a;
+  CompletionQueue* cq_b;
+  QueuePair* qp_a;
+  QueuePair* qp_b;
+
+  TwoNodes() {
+    a = &fabric.AddNode("a", 8u << 20);
+    b = &fabric.AddNode("b", 8u << 20);
+    cq_a = &fabric.CreateCq(a->id());
+    cq_b = &fabric.CreateCq(b->id());
+    qp_a = &fabric.CreateQp(a->id(), *cq_a, *cq_a);
+    qp_b = &fabric.CreateQp(b->id(), *cq_b, *cq_b);
+    EXPECT_TRUE(fabric.Connect(*qp_a, *qp_b).ok());
+  }
+
+  // Allocates + registers a buffer on a node; returns (addr, mr).
+  std::pair<std::uint64_t, MemoryRegion> Buffer(Node& node,
+                                                std::uint64_t size,
+                                                std::uint32_t access) {
+    const std::uint64_t addr = node.memory().Allocate(size, 8).value();
+    const MemoryRegion mr = node.memory().Register(addr, size, access).value();
+    return {addr, mr};
+  }
+};
+
+constexpr std::uint32_t kAllAccess = kAccessLocalWrite | kAccessRemoteRead |
+                                     kAccessRemoteWrite | kAccessRemoteAtomic;
+
+// ---- HostMemory ----
+
+TEST(HostMemory, AllocateAligns) {
+  HostMemory mem(1 << 20);
+  const std::uint64_t a = mem.Allocate(3, 64).value();
+  const std::uint64_t b = mem.Allocate(8, 64).value();
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(b, a + 3);
+}
+
+TEST(HostMemory, AllocateRejectsBadArgs) {
+  HostMemory mem(1 << 20);
+  EXPECT_FALSE(mem.Allocate(0).ok());
+  EXPECT_FALSE(mem.Allocate(8, 3).ok());  // non-power-of-two alignment
+}
+
+TEST(HostMemory, AllocateExhausts) {
+  HostMemory mem(4096);
+  EXPECT_TRUE(mem.Allocate(2048).ok());
+  EXPECT_FALSE(mem.Allocate(4096).ok());
+}
+
+TEST(HostMemory, CpuReadWriteBounds) {
+  HostMemory mem(4096, /*base=*/0x1000);
+  Bytes data = {1, 2, 3};
+  EXPECT_TRUE(mem.Write(0x1000, data).ok());
+  EXPECT_FALSE(mem.Write(0xfff, data).ok());           // below base
+  EXPECT_FALSE(mem.Write(0x1000 + 4095, data).ok());   // crosses end
+  Bytes out(3);
+  EXPECT_TRUE(mem.Read(0x1000, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(HostMemory, RegistrationBoundsChecked) {
+  HostMemory mem(4096, 0x1000);
+  EXPECT_TRUE(mem.Register(0x1000, 4096, kAccessRemoteRead).ok());
+  EXPECT_FALSE(mem.Register(0x1000, 4097, kAccessRemoteRead).ok());
+  EXPECT_FALSE(mem.Register(0x900, 16, kAccessRemoteRead).ok());
+  EXPECT_FALSE(mem.Register(0x1000, 0, kAccessRemoteRead).ok());
+}
+
+TEST(HostMemory, DeregisterInvalidatesKeys) {
+  HostMemory mem(4096, 0x1000);
+  const MemoryRegion mr =
+      mem.Register(0x1000, 256, kAccessRemoteWrite).value();
+  EXPECT_TRUE(mem.Deregister(mr.lkey).ok());
+  Bytes data(8);
+  EXPECT_FALSE(
+      mem.DmaWrite(mr.rkey, /*remote=*/true, 0x1000, data).ok());
+  EXPECT_FALSE(mem.Deregister(mr.lkey).ok());  // double dereg
+}
+
+TEST(HostMemory, DmaPermissionEnforcement) {
+  HostMemory mem(4096, 0x1000);
+  const MemoryRegion read_only =
+      mem.Register(0x1000, 256, kAccessRemoteRead).value();
+  Bytes data(8);
+  EXPECT_TRUE(
+      mem.DmaRead(read_only.rkey, true, 0x1000, data).ok());
+  EXPECT_FALSE(
+      mem.DmaWrite(read_only.rkey, true, 0x1000, data).ok());
+  EXPECT_FALSE(
+      mem.DmaCompareSwap(read_only.rkey, 0x1000, 0, 1).ok());
+}
+
+TEST(HostMemory, DmaRegionBounds) {
+  HostMemory mem(8192, 0x1000);
+  (void)mem.Allocate(8192);
+  const MemoryRegion mr =
+      mem.Register(0x1100, 256, kAccessRemoteRead).value();
+  Bytes out(16);
+  EXPECT_TRUE(mem.DmaRead(mr.rkey, true, 0x1100, out).ok());
+  EXPECT_TRUE(mem.DmaRead(mr.rkey, true, 0x11f0, out).ok());  // last 16
+  EXPECT_FALSE(mem.DmaRead(mr.rkey, true, 0x10ff, out).ok());  // before
+  EXPECT_FALSE(mem.DmaRead(mr.rkey, true, 0x11f1, out).ok());  // past end
+}
+
+TEST(HostMemory, AtomicsRequireAlignment) {
+  HostMemory mem(4096, 0x1000);
+  const MemoryRegion mr =
+      mem.Register(0x1000, 256, kAccessRemoteAtomic).value();
+  EXPECT_TRUE(mem.DmaCompareSwap(mr.rkey, 0x1008, 0, 1).ok());
+  EXPECT_FALSE(mem.DmaCompareSwap(mr.rkey, 0x100c, 0, 1).ok());
+}
+
+TEST(HostMemory, CasSemantics) {
+  HostMemory mem(4096, 0x1000);
+  const MemoryRegion mr =
+      mem.Register(0x1000, 64, kAccessRemoteAtomic).value();
+  ASSERT_TRUE(mem.WriteU64(0x1000, 5).ok());
+  // Mismatch: no swap, returns original.
+  EXPECT_EQ(mem.DmaCompareSwap(mr.rkey, 0x1000, 4, 9).value(), 5u);
+  EXPECT_EQ(mem.ReadU64(0x1000).value(), 5u);
+  // Match: swap.
+  EXPECT_EQ(mem.DmaCompareSwap(mr.rkey, 0x1000, 5, 9).value(), 5u);
+  EXPECT_EQ(mem.ReadU64(0x1000).value(), 9u);
+}
+
+TEST(HostMemory, FetchAddSemantics) {
+  HostMemory mem(4096, 0x1000);
+  const MemoryRegion mr =
+      mem.Register(0x1000, 64, kAccessRemoteAtomic).value();
+  ASSERT_TRUE(mem.WriteU64(0x1000, 100).ok());
+  EXPECT_EQ(mem.DmaFetchAdd(mr.rkey, 0x1000, 7).value(), 100u);
+  EXPECT_EQ(mem.ReadU64(0x1000).value(), 107u);
+}
+
+// ---- Fabric one-sided ops ----
+
+TEST(Fabric, WriteDeliversPayload) {
+  TwoNodes net;
+  auto [src, src_mr] = net.Buffer(*net.a, 256, kAllAccess);
+  auto [dst, dst_mr] = net.Buffer(*net.b, 256, kAllAccess);
+  Bytes payload = {9, 8, 7, 6};
+  ASSERT_TRUE(net.a->memory().Write(src, payload).ok());
+
+  SendWr wr;
+  wr.wr_id = 42;
+  wr.opcode = Opcode::kWrite;
+  wr.local = {src, 4, src_mr.lkey};
+  wr.remote_addr = dst;
+  wr.rkey = dst_mr.rkey;
+  ASSERT_TRUE(net.qp_a->PostSend(wr).ok());
+  net.events.Run();
+
+  Bytes landed(4);
+  ASSERT_TRUE(net.b->memory().Read(dst, landed).ok());
+  EXPECT_EQ(landed, payload);
+  auto wcs = net.cq_a->Poll();
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].wr_id, 42u);
+  EXPECT_EQ(wcs[0].status, WcStatus::kSuccess);
+  EXPECT_EQ(wcs[0].byte_len, 4u);
+  EXPECT_GT(wcs[0].completed_at, 0);
+}
+
+TEST(Fabric, ReadFetchesRemote) {
+  TwoNodes net;
+  auto [dst, dst_mr] = net.Buffer(*net.a, 64, kAllAccess);
+  auto [src, src_mr] = net.Buffer(*net.b, 64, kAllAccess);
+  ASSERT_TRUE(net.b->memory().WriteU64(src, 0xfeedfaceull).ok());
+
+  SendWr wr;
+  wr.opcode = Opcode::kRead;
+  wr.local = {dst, 8, dst_mr.lkey};
+  wr.remote_addr = src;
+  wr.rkey = src_mr.rkey;
+  ASSERT_TRUE(net.qp_a->PostSend(wr).ok());
+  net.events.Run();
+  EXPECT_EQ(net.a->memory().ReadU64(dst).value(), 0xfeedfaceull);
+  EXPECT_EQ(net.cq_a->Poll()[0].status, WcStatus::kSuccess);
+}
+
+TEST(Fabric, WriteSnapshotsPayloadAtPostTime) {
+  TwoNodes net;
+  auto [src, src_mr] = net.Buffer(*net.a, 64, kAllAccess);
+  auto [dst, dst_mr] = net.Buffer(*net.b, 64, kAllAccess);
+  ASSERT_TRUE(net.a->memory().WriteU64(src, 111).ok());
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local = {src, 8, src_mr.lkey};
+  wr.remote_addr = dst;
+  wr.rkey = dst_mr.rkey;
+  ASSERT_TRUE(net.qp_a->PostSend(wr).ok());
+  // Scribble after post: the in-flight payload must not change.
+  ASSERT_TRUE(net.a->memory().WriteU64(src, 222).ok());
+  net.events.Run();
+  EXPECT_EQ(net.b->memory().ReadU64(dst).value(), 111u);
+}
+
+TEST(Fabric, CompareSwapReturnsOriginal) {
+  TwoNodes net;
+  auto [landing, landing_mr] = net.Buffer(*net.a, 64, kAllAccess);
+  auto [target, target_mr] = net.Buffer(*net.b, 64, kAllAccess);
+  ASSERT_TRUE(net.b->memory().WriteU64(target, 10).ok());
+
+  SendWr wr;
+  wr.opcode = Opcode::kCompareSwap;
+  wr.local = {landing, 8, landing_mr.lkey};
+  wr.remote_addr = target;
+  wr.rkey = target_mr.rkey;
+  wr.compare_add = 10;
+  wr.swap = 99;
+  ASSERT_TRUE(net.qp_a->PostSend(wr).ok());
+  net.events.Run();
+  EXPECT_EQ(net.b->memory().ReadU64(target).value(), 99u);
+  EXPECT_EQ(net.a->memory().ReadU64(landing).value(), 10u);
+  auto wc = net.cq_a->Poll()[0];
+  EXPECT_EQ(wc.atomic_original, 10u);
+}
+
+TEST(Fabric, FetchAddAccumulatesAcrossOps) {
+  TwoNodes net;
+  auto [landing, landing_mr] = net.Buffer(*net.a, 64, kAllAccess);
+  auto [target, target_mr] = net.Buffer(*net.b, 64, kAllAccess);
+  for (int i = 0; i < 5; ++i) {
+    SendWr wr;
+    wr.opcode = Opcode::kFetchAdd;
+    wr.local = {landing, 8, landing_mr.lkey};
+    wr.remote_addr = target;
+    wr.rkey = target_mr.rkey;
+    wr.compare_add = 3;
+    ASSERT_TRUE(net.qp_a->PostSend(wr).ok());
+  }
+  net.events.Run();
+  EXPECT_EQ(net.b->memory().ReadU64(target).value(), 15u);
+}
+
+TEST(Fabric, SendRecvDeliversToPostedBuffer) {
+  TwoNodes net;
+  auto [src, src_mr] = net.Buffer(*net.a, 64, kAllAccess);
+  auto [dst, dst_mr] = net.Buffer(*net.b, 64, kAllAccess);
+  ASSERT_TRUE(net.a->memory().WriteU64(src, 0xabcd).ok());
+  ASSERT_TRUE(net.qp_b->PostRecv({7, {dst, 64, dst_mr.lkey}}).ok());
+
+  SendWr wr;
+  wr.wr_id = 3;
+  wr.opcode = Opcode::kSend;
+  wr.local = {src, 8, src_mr.lkey};
+  ASSERT_TRUE(net.qp_a->PostSend(wr).ok());
+  net.events.Run();
+
+  EXPECT_EQ(net.b->memory().ReadU64(dst).value(), 0xabcdu);
+  auto recv_wcs = net.cq_b->Poll();
+  ASSERT_EQ(recv_wcs.size(), 1u);
+  EXPECT_EQ(recv_wcs[0].wr_id, 7u);
+  EXPECT_EQ(recv_wcs[0].byte_len, 8u);
+}
+
+TEST(Fabric, SendWithoutRecvFails) {
+  TwoNodes net;
+  auto [src, src_mr] = net.Buffer(*net.a, 64, kAllAccess);
+  SendWr wr;
+  wr.opcode = Opcode::kSend;
+  wr.local = {src, 8, src_mr.lkey};
+  ASSERT_TRUE(net.qp_a->PostSend(wr).ok());
+  net.events.Run();
+  EXPECT_EQ(net.cq_a->Poll()[0].status, WcStatus::kRetryExceeded);
+  EXPECT_EQ(net.qp_a->state(), QpState::kError);
+}
+
+// ---- errors and RC semantics ----
+
+TEST(Fabric, BadRkeyFailsAndErrorsQp) {
+  TwoNodes net;
+  auto [src, src_mr] = net.Buffer(*net.a, 64, kAllAccess);
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local = {src, 8, src_mr.lkey};
+  wr.remote_addr = 0x10000;
+  wr.rkey = 0xdead;
+  ASSERT_TRUE(net.qp_a->PostSend(wr).ok());
+  net.events.Run();
+  EXPECT_EQ(net.cq_a->Poll()[0].status, WcStatus::kRemoteAccessError);
+  EXPECT_EQ(net.qp_a->state(), QpState::kError);
+
+  // Subsequent posts are flushed.
+  ASSERT_FALSE(net.qp_a->PostSend(wr).ok());
+  auto flushed = net.cq_a->Poll();
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_EQ(flushed[0].status, WcStatus::kWorkRequestFlushed);
+}
+
+TEST(Fabric, BadLkeyFailsLocally) {
+  TwoNodes net;
+  auto [dst, dst_mr] = net.Buffer(*net.b, 64, kAllAccess);
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local = {0x10000, 8, 0xbeef};
+  wr.remote_addr = dst;
+  wr.rkey = dst_mr.rkey;
+  ASSERT_TRUE(net.qp_a->PostSend(wr).ok());
+  net.events.Run();
+  EXPECT_EQ(net.cq_a->Poll()[0].status, WcStatus::kLocalProtectionError);
+}
+
+TEST(Fabric, PostOnUnconnectedQpRejected) {
+  sim::EventQueue events;
+  Fabric fabric(events);
+  Node& node = fabric.AddNode("x");
+  CompletionQueue& cq = fabric.CreateCq(node.id());
+  QueuePair& qp = fabric.CreateQp(node.id(), cq, cq);
+  SendWr wr;
+  EXPECT_FALSE(qp.PostSend(wr).ok());
+}
+
+TEST(Fabric, DoubleConnectRejected) {
+  TwoNodes net;
+  EXPECT_FALSE(net.fabric.Connect(*net.qp_a, *net.qp_b).ok());
+}
+
+TEST(Fabric, CompletionsDeliveredInPostOrder) {
+  TwoNodes net;
+  auto [src, src_mr] = net.Buffer(*net.a, 1 << 20, kAllAccess);
+  auto [dst, dst_mr] = net.Buffer(*net.b, 1 << 20, kAllAccess);
+  // Big write posted first, tiny CAS second: completions must arrive in
+  // post order despite the size difference.
+  SendWr big;
+  big.wr_id = 1;
+  big.opcode = Opcode::kWrite;
+  big.local = {src, 1 << 19, src_mr.lkey};
+  big.remote_addr = dst;
+  big.rkey = dst_mr.rkey;
+  SendWr tiny;
+  tiny.wr_id = 2;
+  tiny.opcode = Opcode::kFetchAdd;
+  tiny.local = {src, 8, src_mr.lkey};
+  tiny.remote_addr = dst;
+  tiny.rkey = dst_mr.rkey;
+  tiny.compare_add = 1;
+  ASSERT_TRUE(net.qp_a->PostSend(big).ok());
+  ASSERT_TRUE(net.qp_a->PostSend(tiny).ok());
+  net.events.Run();
+  auto wcs = net.cq_a->Poll();
+  ASSERT_EQ(wcs.size(), 2u);
+  EXPECT_EQ(wcs[0].wr_id, 1u);
+  EXPECT_EQ(wcs[1].wr_id, 2u);
+  EXPECT_LE(wcs[0].completed_at, wcs[1].completed_at);
+}
+
+TEST(Fabric, LargeWritesSerializeOnWire) {
+  TwoNodes net;
+  auto [src, src_mr] = net.Buffer(*net.a, 2 << 20, kAllAccess);
+  auto [dst, dst_mr] = net.Buffer(*net.b, 2 << 20, kAllAccess);
+  // Two 1 MiB writes posted together must take ~2x the wire time of one.
+  auto post = [&](std::uint64_t id) {
+    SendWr wr;
+    wr.wr_id = id;
+    wr.opcode = Opcode::kWrite;
+    wr.local = {src, 1 << 20, src_mr.lkey};
+    wr.remote_addr = dst;
+    wr.rkey = dst_mr.rkey;
+    ASSERT_TRUE(net.qp_a->PostSend(wr).ok());
+  };
+  post(1);
+  const sim::SimTime t0 = net.events.Now();
+  net.events.Run();
+  const sim::SimTime one = net.events.Now() - t0;
+
+  post(2);
+  post(3);
+  const sim::SimTime t1 = net.events.Now();
+  net.events.Run();
+  const sim::SimTime two = net.events.Now() - t1;
+  EXPECT_GT(static_cast<double>(two), 1.7 * static_cast<double>(one));
+}
+
+TEST(Fabric, UnsignaledWritesProduceNoCompletion) {
+  TwoNodes net;
+  auto [src, src_mr] = net.Buffer(*net.a, 64, kAllAccess);
+  auto [dst, dst_mr] = net.Buffer(*net.b, 64, kAllAccess);
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local = {src, 8, src_mr.lkey};
+  wr.remote_addr = dst;
+  wr.rkey = dst_mr.rkey;
+  wr.signaled = false;
+  ASSERT_TRUE(net.qp_a->PostSend(wr).ok());
+  net.events.Run();
+  EXPECT_TRUE(net.cq_a->Poll().empty());
+  EXPECT_EQ(net.fabric.ops_executed(), 1u);
+}
+
+TEST(Cq, OverrunDropsEntries) {
+  sim::EventQueue events;
+  CompletionQueue cq(2);
+  WorkCompletion wc;
+  EXPECT_TRUE(cq.Push(wc));
+  EXPECT_TRUE(cq.Push(wc));
+  EXPECT_FALSE(cq.Push(wc));
+  EXPECT_EQ(cq.overruns(), 1u);
+  EXPECT_EQ(cq.Poll(10).size(), 2u);
+}
+
+TEST(Cq, NotifyConsumesWhenTrue) {
+  CompletionQueue cq;
+  int seen = 0;
+  cq.SetNotify([&](const WorkCompletion&) {
+    ++seen;
+    return true;
+  });
+  WorkCompletion wc;
+  cq.Push(wc);
+  EXPECT_EQ(seen, 1);
+  EXPECT_TRUE(cq.Poll().empty());
+}
+
+TEST(Cq, NotifyLeavesWhenFalse) {
+  CompletionQueue cq;
+  cq.SetNotify([](const WorkCompletion&) { return false; });
+  WorkCompletion wc;
+  cq.Push(wc);
+  EXPECT_EQ(cq.Poll().size(), 1u);
+}
+
+}  // namespace
+}  // namespace rdx::rdma

@@ -1,0 +1,310 @@
+// Unit tests for the simulation substrate: event queue semantics,
+// processor-sharing CPU model, cache-coherence model, link model.
+#include <gtest/gtest.h>
+
+#include "sim/cache.h"
+#include "sim/cost_model.h"
+#include "sim/cpu.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+
+namespace rdx::sim {
+namespace {
+
+// ---- EventQueue ----
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(30, [&] { order.push_back(3); });
+  q.ScheduleAt(10, [&] { order.push_back(1); });
+  q.ScheduleAt(20, [&] { order.push_back(2); });
+  EXPECT_EQ(q.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.Now(), 30);
+}
+
+TEST(EventQueue, FifoAtSameTimestamp) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  q.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, HandlersCanScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1, [&] {
+    ++fired;
+    q.ScheduleAfter(5, [&] { ++fired; });
+  });
+  q.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.Now(), 6);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  auto id = q.ScheduleAt(10, [&] { ran = true; });
+  q.Cancel(id);
+  EXPECT_EQ(q.Run(), 0u);
+  EXPECT_FALSE(ran);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueue, CancelOneOfMany) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(1, [&] { order.push_back(1); });
+  auto id = q.ScheduleAt(2, [&] { order.push_back(2); });
+  q.ScheduleAt(3, [&] { order.push_back(3); });
+  q.Cancel(id);
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(10, [&] { ++fired; });
+  q.ScheduleAt(20, [&] { ++fired; });
+  q.ScheduleAt(30, [&] { ++fired; });
+  EXPECT_EQ(q.RunUntil(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.Now(), 20);
+  q.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle) {
+  EventQueue q;
+  q.RunUntil(12345);
+  EXPECT_EQ(q.Now(), 12345);
+}
+
+TEST(EventQueue, RunUntilSkipsCancelledHead) {
+  EventQueue q;
+  bool late_ran = false;
+  auto id = q.ScheduleAt(5, [] {});
+  q.ScheduleAt(50, [&] { late_ran = true; });
+  q.Cancel(id);
+  q.RunUntil(10);
+  EXPECT_FALSE(late_ran);  // the 50-event must not leak past the bound
+  EXPECT_EQ(q.Now(), 10);
+}
+
+TEST(EventQueue, PastSchedulingClampsToNow) {
+  EventQueue q;
+  q.ScheduleAt(100, [] {});
+  q.Run();
+  int fired_at = 0;
+  q.ScheduleAt(5, [&] { fired_at = static_cast<int>(q.Now()); });
+  q.Run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+// ---- CpuScheduler ----
+
+TEST(Cpu, SingleTaskRunsAtFullSpeed) {
+  EventQueue q;
+  CpuScheduler cpu(q, 1, 1e9);  // 1 GHz
+  SimTime done_at = -1;
+  cpu.Submit(1000, [&] { done_at = q.Now(); });
+  q.Run();
+  EXPECT_EQ(done_at, 1000);  // 1000 cycles at 1 cycle/ns
+}
+
+TEST(Cpu, TwoTasksOnOneCoreShare) {
+  EventQueue q;
+  CpuScheduler cpu(q, 1, 1e9);
+  SimTime a_done = 0, b_done = 0;
+  cpu.Submit(1000, [&] { a_done = q.Now(); });
+  cpu.Submit(1000, [&] { b_done = q.Now(); });
+  q.Run();
+  // Both get half speed: each finishes at ~2000 ns.
+  EXPECT_NEAR(static_cast<double>(a_done), 2000, 2);
+  EXPECT_NEAR(static_cast<double>(b_done), 2000, 2);
+}
+
+TEST(Cpu, TwoTasksOnTwoCoresDoNotShare) {
+  EventQueue q;
+  CpuScheduler cpu(q, 2, 1e9);
+  SimTime a_done = 0, b_done = 0;
+  cpu.Submit(1000, [&] { a_done = q.Now(); });
+  cpu.Submit(1000, [&] { b_done = q.Now(); });
+  q.Run();
+  EXPECT_NEAR(static_cast<double>(a_done), 1000, 2);
+  EXPECT_NEAR(static_cast<double>(b_done), 1000, 2);
+}
+
+TEST(Cpu, ShortTaskDelaysLongTaskProportionally) {
+  EventQueue q;
+  CpuScheduler cpu(q, 1, 1e9);
+  SimTime short_done = 0, long_done = 0;
+  cpu.Submit(10000, [&] { long_done = q.Now(); });
+  cpu.Submit(1000, [&] { short_done = q.Now(); });
+  q.Run();
+  // Short task: shares until it accumulates 1000 cycles => 2000 ns.
+  EXPECT_NEAR(static_cast<double>(short_done), 2000, 5);
+  // Long task: 1000 cycles done at t=2000, 9000 more alone => 11000 ns.
+  EXPECT_NEAR(static_cast<double>(long_done), 11000, 5);
+}
+
+TEST(Cpu, StaggeredArrival) {
+  EventQueue q;
+  CpuScheduler cpu(q, 1, 1e9);
+  SimTime first_done = 0;
+  cpu.Submit(2000, [&] { first_done = q.Now(); });
+  q.ScheduleAt(1000, [&] {
+    cpu.Submit(5000, [] {});
+  });
+  q.Run();
+  // First task runs alone for 1000 ns (1000 cycles), then shares;
+  // remaining 1000 cycles take 2000 ns => done at 3000.
+  EXPECT_NEAR(static_cast<double>(first_done), 3000, 5);
+}
+
+TEST(Cpu, AbortCancelsCompletion) {
+  EventQueue q;
+  CpuScheduler cpu(q, 1, 1e9);
+  bool fired = false;
+  auto id = cpu.Submit(1000, [&] { fired = true; });
+  cpu.Abort(id);
+  q.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(cpu.ActiveTasks(), 0);
+}
+
+TEST(Cpu, AbortSpeedsUpSurvivor) {
+  EventQueue q;
+  CpuScheduler cpu(q, 1, 1e9);
+  SimTime done = 0;
+  cpu.Submit(4000, [&] { done = q.Now(); });
+  auto victim = cpu.Submit(100000, [] {});
+  q.ScheduleAt(2000, [&] { cpu.Abort(victim); });
+  q.Run();
+  // 0-2000ns shared (1000 cycles done), then alone: 3000 more ns.
+  EXPECT_NEAR(static_cast<double>(done), 5000, 5);
+}
+
+TEST(Cpu, UtilizationReflectsLoad) {
+  EventQueue q;
+  CpuScheduler cpu(q, 2, 1e9);
+  cpu.Submit(1000, [] {});
+  q.Run();
+  q.RunUntil(2000);
+  // 1 core busy for 1000 ns out of 2 cores * 2000 ns.
+  EXPECT_NEAR(cpu.Utilization(), 0.25, 0.01);
+}
+
+TEST(Cpu, CompletionCanResubmit) {
+  EventQueue q;
+  CpuScheduler cpu(q, 1, 1e9);
+  int chain = 0;
+  std::function<void()> next = [&] {
+    if (++chain < 5) cpu.Submit(100, next);
+  };
+  cpu.Submit(100, next);
+  q.Run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(q.Now(), 500);
+}
+
+TEST(Cpu, ManyConcurrentTasksConserveWork) {
+  EventQueue q;
+  CpuScheduler cpu(q, 4, 3.4e9);
+  constexpr int kTasks = 64;
+  int done = 0;
+  for (int i = 0; i < kTasks; ++i) {
+    cpu.Submit(340'000, [&] { ++done; });
+  }
+  q.Run();
+  EXPECT_EQ(done, kTasks);
+  // Total work = 64 * 100 us; on 4 cores => 1.6 ms of virtual time.
+  EXPECT_NEAR(static_cast<double>(q.Now()), 1.6e6, 1e4);
+}
+
+// ---- CacheModel ----
+
+TEST(Cache, ExpectedDelayMatchesCalibration) {
+  CacheModel cache;  // defaults: 7460 lines, 1e9 insn/s
+  // At CPKI=10 the calibrated delay is ~746 us (Fig 5 worst case).
+  EXPECT_NEAR(ToMicros(cache.ExpectedDiscoveryDelay(10.0)), 746.0, 1.0);
+}
+
+TEST(Cache, DelayInverselyProportionalToCpki) {
+  CacheModel cache;
+  const auto d10 = cache.ExpectedDiscoveryDelay(10.0);
+  const auto d20 = cache.ExpectedDiscoveryDelay(20.0);
+  const auto d40 = cache.ExpectedDiscoveryDelay(40.0);
+  EXPECT_NEAR(static_cast<double>(d10) / d20, 2.0, 0.01);
+  EXPECT_NEAR(static_cast<double>(d20) / d40, 2.0, 0.01);
+}
+
+TEST(Cache, ZeroCpkiIsCapped) {
+  CacheModel cache;
+  EXPECT_EQ(cache.ExpectedDiscoveryDelay(0.0), Millis(10));
+}
+
+TEST(Cache, SamplesAverageToExpectation) {
+  CacheModel cache;
+  Rng rng(2);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(cache.SampleDiscoveryDelay(20.0, rng));
+  }
+  EXPECT_NEAR(sum / kN,
+              static_cast<double>(cache.ExpectedDiscoveryDelay(20.0)),
+              static_cast<double>(cache.ExpectedDiscoveryDelay(20.0)) * 0.05);
+}
+
+TEST(Cache, FlushDelayIsConstant) {
+  CacheModel cache;
+  EXPECT_EQ(cache.FlushDelay(), Micros(2));
+}
+
+// ---- LinkModel / CostModel ----
+
+TEST(Link, OneWayIncludesSerialization) {
+  LinkModel link = RdmaLink();
+  const Duration small = link.OneWay(64);
+  const Duration large = link.OneWay(1 << 20);
+  EXPECT_LT(small, Micros(2));
+  // 1 MiB at 12.5 B/ns ~= 84 us + base.
+  EXPECT_NEAR(ToMicros(large), 84.0 + 1.5, 2.0);
+  EXPECT_EQ(link.RoundTrip(0), 2 * link.OneWay(0));
+}
+
+TEST(Link, AgentControlIsSlowerThanRdma) {
+  EXPECT_GT(AgentControlLink().OneWay(1024), RdmaLink().OneWay(1024));
+}
+
+TEST(CostModel, VerifyCyclesSuperlinear) {
+  const CostModel& cost = CostModel::Default();
+  const double per_insn_small =
+      static_cast<double>(cost.VerifyCycles(1000)) / 1000;
+  const double per_insn_large =
+      static_cast<double>(cost.VerifyCycles(100000)) / 100000;
+  EXPECT_GT(per_insn_large, per_insn_small * 1.3);
+}
+
+TEST(CostModel, CalibratedAnchors) {
+  const CostModel& cost = CostModel::Default();
+  // ~1.1 ms of verification at 1.3K insns (Fig 2a / 4a anchor).
+  const double verify_1300_ms =
+      static_cast<double>(cost.VerifyCycles(1300)) / cost.cpu_hz * 1e3;
+  EXPECT_GT(verify_1300_ms, 0.5);
+  EXPECT_LT(verify_1300_ms, 2.5);
+  // ~100+ ms at 95K.
+  const double verify_95k_ms =
+      static_cast<double>(cost.VerifyCycles(95000)) / cost.cpu_hz * 1e3;
+  EXPECT_GT(verify_95k_ms, 80.0);
+}
+
+}  // namespace
+}  // namespace rdx::sim
