@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_jit.dir/ablation_jit.cc.o"
+  "CMakeFiles/ablation_jit.dir/ablation_jit.cc.o.d"
+  "ablation_jit"
+  "ablation_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_sync.cc" "bench/CMakeFiles/ablation_sync.dir/ablation_sync.cc.o" "gcc" "bench/CMakeFiles/ablation_sync.dir/ablation_sync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rdx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/rdx_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/rdx_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/rdx_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/rdx_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rdx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpf/CMakeFiles/rdx_bpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/rdx_wasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rdx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_xstate.dir/ablation_xstate.cc.o"
+  "CMakeFiles/ablation_xstate.dir/ablation_xstate.cc.o.d"
+  "ablation_xstate"
+  "ablation_xstate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_xstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_consistency.dir/broadcast_consistency.cc.o"
+  "CMakeFiles/broadcast_consistency.dir/broadcast_consistency.cc.o.d"
+  "broadcast_consistency"
+  "broadcast_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

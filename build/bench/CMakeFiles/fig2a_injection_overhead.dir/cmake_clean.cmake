@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_injection_overhead.dir/fig2a_injection_overhead.cc.o"
+  "CMakeFiles/fig2a_injection_overhead.dir/fig2a_injection_overhead.cc.o.d"
+  "fig2a_injection_overhead"
+  "fig2a_injection_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_injection_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

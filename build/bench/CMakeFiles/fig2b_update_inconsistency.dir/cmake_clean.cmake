@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_update_inconsistency.dir/fig2b_update_inconsistency.cc.o"
+  "CMakeFiles/fig2b_update_inconsistency.dir/fig2b_update_inconsistency.cc.o.d"
+  "fig2b_update_inconsistency"
+  "fig2b_update_inconsistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_update_inconsistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

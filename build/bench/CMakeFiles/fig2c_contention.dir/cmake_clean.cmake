@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2c_contention.dir/fig2c_contention.cc.o"
+  "CMakeFiles/fig2c_contention.dir/fig2c_contention.cc.o.d"
+  "fig2c_contention"
+  "fig2c_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2c_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_breakdown.dir/fig4b_breakdown.cc.o"
+  "CMakeFiles/fig4b_breakdown.dir/fig4b_breakdown.cc.o.d"
+  "fig4b_breakdown"
+  "fig4b_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sync_primitives.dir/fig5_sync_primitives.cc.o"
+  "CMakeFiles/fig5_sync_primitives.dir/fig5_sync_primitives.cc.o.d"
+  "fig5_sync_primitives"
+  "fig5_sync_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sync_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

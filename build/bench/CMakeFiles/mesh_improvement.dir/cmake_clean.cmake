@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_improvement.dir/mesh_improvement.cc.o"
+  "CMakeFiles/mesh_improvement.dir/mesh_improvement.cc.o.d"
+  "mesh_improvement"
+  "mesh_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

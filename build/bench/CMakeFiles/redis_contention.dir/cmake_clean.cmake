@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redis_contention.dir/redis_contention.cc.o"
+  "CMakeFiles/redis_contention.dir/redis_contention.cc.o.d"
+  "redis_contention"
+  "redis_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redis_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rollback_hotpatch.dir/rollback_hotpatch.cc.o"
+  "CMakeFiles/rollback_hotpatch.dir/rollback_hotpatch.cc.o.d"
+  "rollback_hotpatch"
+  "rollback_hotpatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rollback_hotpatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_agentless_mesh.dir/agentless_mesh.cpp.o"
+  "CMakeFiles/example_agentless_mesh.dir/agentless_mesh.cpp.o.d"
+  "agentless_mesh"
+  "agentless_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_agentless_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

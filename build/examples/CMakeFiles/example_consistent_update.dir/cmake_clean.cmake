@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_consistent_update.dir/consistent_update.cpp.o"
+  "CMakeFiles/example_consistent_update.dir/consistent_update.cpp.o.d"
+  "consistent_update"
+  "consistent_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_consistent_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_rollback_hotpatch.
+# This may be replaced when dependencies are built.

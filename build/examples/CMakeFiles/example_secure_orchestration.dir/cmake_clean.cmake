@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_secure_orchestration.dir/secure_orchestration.cpp.o"
+  "CMakeFiles/example_secure_orchestration.dir/secure_orchestration.cpp.o.d"
+  "secure_orchestration"
+  "secure_orchestration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_secure_orchestration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdx_agent.dir/agent.cc.o"
+  "CMakeFiles/rdx_agent.dir/agent.cc.o.d"
+  "librdx_agent.a"
+  "librdx_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdx_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpf/assembler.cc" "src/bpf/CMakeFiles/rdx_bpf.dir/assembler.cc.o" "gcc" "src/bpf/CMakeFiles/rdx_bpf.dir/assembler.cc.o.d"
+  "/root/repo/src/bpf/exec.cc" "src/bpf/CMakeFiles/rdx_bpf.dir/exec.cc.o" "gcc" "src/bpf/CMakeFiles/rdx_bpf.dir/exec.cc.o.d"
+  "/root/repo/src/bpf/insn.cc" "src/bpf/CMakeFiles/rdx_bpf.dir/insn.cc.o" "gcc" "src/bpf/CMakeFiles/rdx_bpf.dir/insn.cc.o.d"
+  "/root/repo/src/bpf/interpreter.cc" "src/bpf/CMakeFiles/rdx_bpf.dir/interpreter.cc.o" "gcc" "src/bpf/CMakeFiles/rdx_bpf.dir/interpreter.cc.o.d"
+  "/root/repo/src/bpf/jit.cc" "src/bpf/CMakeFiles/rdx_bpf.dir/jit.cc.o" "gcc" "src/bpf/CMakeFiles/rdx_bpf.dir/jit.cc.o.d"
+  "/root/repo/src/bpf/maps.cc" "src/bpf/CMakeFiles/rdx_bpf.dir/maps.cc.o" "gcc" "src/bpf/CMakeFiles/rdx_bpf.dir/maps.cc.o.d"
+  "/root/repo/src/bpf/proggen.cc" "src/bpf/CMakeFiles/rdx_bpf.dir/proggen.cc.o" "gcc" "src/bpf/CMakeFiles/rdx_bpf.dir/proggen.cc.o.d"
+  "/root/repo/src/bpf/program.cc" "src/bpf/CMakeFiles/rdx_bpf.dir/program.cc.o" "gcc" "src/bpf/CMakeFiles/rdx_bpf.dir/program.cc.o.d"
+  "/root/repo/src/bpf/verifier.cc" "src/bpf/CMakeFiles/rdx_bpf.dir/verifier.cc.o" "gcc" "src/bpf/CMakeFiles/rdx_bpf.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rdx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

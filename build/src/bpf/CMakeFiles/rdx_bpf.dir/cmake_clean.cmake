@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdx_bpf.dir/assembler.cc.o"
+  "CMakeFiles/rdx_bpf.dir/assembler.cc.o.d"
+  "CMakeFiles/rdx_bpf.dir/exec.cc.o"
+  "CMakeFiles/rdx_bpf.dir/exec.cc.o.d"
+  "CMakeFiles/rdx_bpf.dir/insn.cc.o"
+  "CMakeFiles/rdx_bpf.dir/insn.cc.o.d"
+  "CMakeFiles/rdx_bpf.dir/interpreter.cc.o"
+  "CMakeFiles/rdx_bpf.dir/interpreter.cc.o.d"
+  "CMakeFiles/rdx_bpf.dir/jit.cc.o"
+  "CMakeFiles/rdx_bpf.dir/jit.cc.o.d"
+  "CMakeFiles/rdx_bpf.dir/maps.cc.o"
+  "CMakeFiles/rdx_bpf.dir/maps.cc.o.d"
+  "CMakeFiles/rdx_bpf.dir/proggen.cc.o"
+  "CMakeFiles/rdx_bpf.dir/proggen.cc.o.d"
+  "CMakeFiles/rdx_bpf.dir/program.cc.o"
+  "CMakeFiles/rdx_bpf.dir/program.cc.o.d"
+  "CMakeFiles/rdx_bpf.dir/verifier.cc.o"
+  "CMakeFiles/rdx_bpf.dir/verifier.cc.o.d"
+  "librdx_bpf.a"
+  "librdx_bpf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdx_bpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

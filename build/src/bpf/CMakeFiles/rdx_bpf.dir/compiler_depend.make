@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rdx_bpf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdx_common.dir/bytes.cc.o"
+  "CMakeFiles/rdx_common.dir/bytes.cc.o.d"
+  "CMakeFiles/rdx_common.dir/log.cc.o"
+  "CMakeFiles/rdx_common.dir/log.cc.o.d"
+  "CMakeFiles/rdx_common.dir/stats.cc.o"
+  "CMakeFiles/rdx_common.dir/stats.cc.o.d"
+  "CMakeFiles/rdx_common.dir/status.cc.o"
+  "CMakeFiles/rdx_common.dir/status.cc.o.d"
+  "librdx_common.a"
+  "librdx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

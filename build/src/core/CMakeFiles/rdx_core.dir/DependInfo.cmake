@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/broadcast.cc" "src/core/CMakeFiles/rdx_core.dir/broadcast.cc.o" "gcc" "src/core/CMakeFiles/rdx_core.dir/broadcast.cc.o.d"
+  "/root/repo/src/core/codeflow.cc" "src/core/CMakeFiles/rdx_core.dir/codeflow.cc.o" "gcc" "src/core/CMakeFiles/rdx_core.dir/codeflow.cc.o.d"
+  "/root/repo/src/core/gatekeeper.cc" "src/core/CMakeFiles/rdx_core.dir/gatekeeper.cc.o" "gcc" "src/core/CMakeFiles/rdx_core.dir/gatekeeper.cc.o.d"
+  "/root/repo/src/core/inspector.cc" "src/core/CMakeFiles/rdx_core.dir/inspector.cc.o" "gcc" "src/core/CMakeFiles/rdx_core.dir/inspector.cc.o.d"
+  "/root/repo/src/core/orchestrator.cc" "src/core/CMakeFiles/rdx_core.dir/orchestrator.cc.o" "gcc" "src/core/CMakeFiles/rdx_core.dir/orchestrator.cc.o.d"
+  "/root/repo/src/core/sandbox.cc" "src/core/CMakeFiles/rdx_core.dir/sandbox.cc.o" "gcc" "src/core/CMakeFiles/rdx_core.dir/sandbox.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rdx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rdx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/rdx_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpf/CMakeFiles/rdx_bpf.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/rdx_wasm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdx_core.dir/broadcast.cc.o"
+  "CMakeFiles/rdx_core.dir/broadcast.cc.o.d"
+  "CMakeFiles/rdx_core.dir/codeflow.cc.o"
+  "CMakeFiles/rdx_core.dir/codeflow.cc.o.d"
+  "CMakeFiles/rdx_core.dir/gatekeeper.cc.o"
+  "CMakeFiles/rdx_core.dir/gatekeeper.cc.o.d"
+  "CMakeFiles/rdx_core.dir/inspector.cc.o"
+  "CMakeFiles/rdx_core.dir/inspector.cc.o.d"
+  "CMakeFiles/rdx_core.dir/orchestrator.cc.o"
+  "CMakeFiles/rdx_core.dir/orchestrator.cc.o.d"
+  "CMakeFiles/rdx_core.dir/sandbox.cc.o"
+  "CMakeFiles/rdx_core.dir/sandbox.cc.o.d"
+  "librdx_core.a"
+  "librdx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdx_kvstore.dir/kvstore.cc.o"
+  "CMakeFiles/rdx_kvstore.dir/kvstore.cc.o.d"
+  "librdx_kvstore.a"
+  "librdx_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdx_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdx_mesh.dir/app.cc.o"
+  "CMakeFiles/rdx_mesh.dir/app.cc.o.d"
+  "CMakeFiles/rdx_mesh.dir/mesh.cc.o"
+  "CMakeFiles/rdx_mesh.dir/mesh.cc.o.d"
+  "librdx_mesh.a"
+  "librdx_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdx_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdx_rdma.dir/cq.cc.o"
+  "CMakeFiles/rdx_rdma.dir/cq.cc.o.d"
+  "CMakeFiles/rdx_rdma.dir/fabric.cc.o"
+  "CMakeFiles/rdx_rdma.dir/fabric.cc.o.d"
+  "CMakeFiles/rdx_rdma.dir/memory.cc.o"
+  "CMakeFiles/rdx_rdma.dir/memory.cc.o.d"
+  "librdx_rdma.a"
+  "librdx_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdx_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdx_sim.dir/cache.cc.o"
+  "CMakeFiles/rdx_sim.dir/cache.cc.o.d"
+  "CMakeFiles/rdx_sim.dir/cpu.cc.o"
+  "CMakeFiles/rdx_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/rdx_sim.dir/event_queue.cc.o"
+  "CMakeFiles/rdx_sim.dir/event_queue.cc.o.d"
+  "librdx_sim.a"
+  "librdx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdx_wasm.dir/filter.cc.o"
+  "CMakeFiles/rdx_wasm.dir/filter.cc.o.d"
+  "librdx_wasm.a"
+  "librdx_wasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdx_wasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpf_iter_asm_test.dir/bpf_iter_asm_test.cc.o"
+  "CMakeFiles/bpf_iter_asm_test.dir/bpf_iter_asm_test.cc.o.d"
+  "bpf_iter_asm_test"
+  "bpf_iter_asm_test.pdb"
+  "bpf_iter_asm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpf_iter_asm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpf_maps_test.dir/bpf_maps_test.cc.o"
+  "CMakeFiles/bpf_maps_test.dir/bpf_maps_test.cc.o.d"
+  "bpf_maps_test"
+  "bpf_maps_test.pdb"
+  "bpf_maps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpf_maps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpf_verifier_test.dir/bpf_verifier_test.cc.o"
+  "CMakeFiles/bpf_verifier_test.dir/bpf_verifier_test.cc.o.d"
+  "bpf_verifier_test"
+  "bpf_verifier_test.pdb"
+  "bpf_verifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpf_verifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_codeflow_test.dir/core_codeflow_test.cc.o"
+  "CMakeFiles/core_codeflow_test.dir/core_codeflow_test.cc.o.d"
+  "core_codeflow_test"
+  "core_codeflow_test.pdb"
+  "core_codeflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_codeflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_security_test.dir/core_security_test.cc.o"
+  "CMakeFiles/core_security_test.dir/core_security_test.cc.o.d"
+  "core_security_test"
+  "core_security_test.pdb"
+  "core_security_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_security_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_xstate_test.dir/core_xstate_test.cc.o"
+  "CMakeFiles/core_xstate_test.dir/core_xstate_test.cc.o.d"
+  "core_xstate_test"
+  "core_xstate_test.pdb"
+  "core_xstate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_xstate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

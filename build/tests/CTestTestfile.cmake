@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bpf_toolchain_test[1]_include.cmake")
+include("/root/repo/build/tests/core_codeflow_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/rdma_test[1]_include.cmake")
+include("/root/repo/build/tests/bpf_maps_test[1]_include.cmake")
+include("/root/repo/build/tests/bpf_exec_test[1]_include.cmake")
+include("/root/repo/build/tests/bpf_verifier_test[1]_include.cmake")
+include("/root/repo/build/tests/wasm_test[1]_include.cmake")
+include("/root/repo/build/tests/agent_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_test[1]_include.cmake")
+include("/root/repo/build/tests/kvstore_test[1]_include.cmake")
+include("/root/repo/build/tests/core_xstate_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/core_security_test[1]_include.cmake")
+include("/root/repo/build/tests/orchestrator_test[1]_include.cmake")
+include("/root/repo/build/tests/bpf_iter_asm_test[1]_include.cmake")
