@@ -100,4 +100,42 @@ inline std::string Fmt(double v, int decimals = 2) {
 
 inline std::string FmtInt(std::uint64_t v) { return std::to_string(v); }
 
+// ---- machine-readable output ----
+//
+// Tiny JSON object builder for the `BENCH_<name>.json {...}` lines the
+// sweep scripts grep out of bench stdout. Insertion order is preserved;
+// strings are assumed to need no escaping (bench keys/labels only).
+
+class Json {
+ public:
+  Json& Add(const std::string& key, double v, int decimals = 3) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return Raw(key, buf);
+  }
+  Json& Add(const std::string& key, std::uint64_t v) {
+    return Raw(key, std::to_string(v));
+  }
+  Json& Add(const std::string& key, int v) {
+    return Raw(key, std::to_string(v));
+  }
+  Json& Add(const std::string& key, const std::string& v) {
+    return Raw(key, "\"" + v + "\"");
+  }
+
+  std::string Str() const { return "{" + body_ + "}"; }
+
+ private:
+  Json& Raw(const std::string& key, const std::string& value) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += "\"" + key + "\": " + value;
+    return *this;
+  }
+  std::string body_;
+};
+
+inline void PrintBenchJson(const std::string& name, const Json& json) {
+  std::printf("BENCH_%s.json %s\n", name.c_str(), json.Str().c_str());
+}
+
 }  // namespace rdx::bench

@@ -56,6 +56,12 @@ int main() {
     bench::PrintRow({bench::FmtInt(size), bench::Fmt(agent_ms.mean(), 2),
                      bench::Fmt(rdx_us.mean(), 1),
                      bench::Fmt(speedup, 0) + "x"});
+    bench::PrintBenchJson("fig4a_load_overhead",
+                          bench::Json()
+                              .Add("insns", static_cast<std::uint64_t>(size))
+                              .Add("agent_ms", agent_ms.mean())
+                              .Add("rdx_us", rdx_us.mean())
+                              .Add("speedup", speedup, 1));
   }
   std::printf(
       "\nshape check: agent grows to 100+ ms; RDX stays at tens-of-us; the "

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repository gate: tier-1 verification (full build + every test) plus a
+# strict -Wall -Wextra -Werror compile of all src/ libraries.
+#
+# Usage: scripts/check.sh            # from anywhere inside the repo
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+echo
+echo "== strict: -Wall -Wextra -Werror build of src/ libraries =="
+cmake -B build-werror -S . \
+  -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror" >/dev/null
+cmake --build build-werror -j"$(nproc)" --target \
+  rdx_common rdx_sim rdx_rdma rdx_bpf rdx_wasm \
+  rdx_agent rdx_core rdx_fault rdx_mesh rdx_kvstore
+
+echo
+echo "check.sh: all gates passed"

@@ -88,7 +88,16 @@ void ControlPlane::Post(
     std::function<void(const rdma::WorkCompletion&)> done) {
   wr.wr_id = next_wr_id_++;
   wr.signaled = true;
-  pending_.emplace(wr.wr_id, PendingOp{std::move(done)});
+  // Every successful completion renews the target node's health lease.
+  const rdma::NodeId target = flow.node_;
+  auto recording = [this, target, done = std::move(done)](
+                       const rdma::WorkCompletion& wc) {
+    if (wc.status == rdma::WcStatus::kSuccess) {
+      last_success_[target] = events_.Now();
+    }
+    done(wc);
+  };
+  pending_.emplace(wr.wr_id, PendingOp{std::move(recording)});
   const Status posted = flow.qp->PostSend(wr);
   if (!posted.ok()) {
     // The QP pushed a flush completion (or rejected the post); surface an
@@ -130,6 +139,11 @@ void ControlPlane::CreateCodeFlow(
   flow->qp = &local_qp;
   flow->cq = cq_;
 
+  Handshake(flow, std::move(done));
+}
+
+void ControlPlane::Handshake(CodeFlow* flow,
+                             std::function<void(StatusOr<CodeFlow*>)> done) {
   // Step 1: read the control block.
   auto cb_buf = LocalScratch(kControlBlockBytes);
   if (!cb_buf.ok()) {
@@ -139,8 +153,8 @@ void ControlPlane::CreateCodeFlow(
   rdma::SendWr read_cb;
   read_cb.opcode = rdma::Opcode::kRead;
   read_cb.local = {cb_buf.value(), kControlBlockBytes, local_mr_.lkey};
-  read_cb.remote_addr = reg.cb_addr;
-  read_cb.rkey = reg.rkey;
+  read_cb.remote_addr = flow->remote_view_.cb_addr;
+  read_cb.rkey = flow->rkey;
   Post(*flow, read_cb, [this, flow, cb_buf = cb_buf.value(),
                         done](const rdma::WorkCompletion& wc) {
     if (wc.status != rdma::WcStatus::kSuccess) {
@@ -165,6 +179,20 @@ void ControlPlane::CreateCodeFlow(
     view.scratch_size = word(kCbScratchSize);
     view.symtab_addr = word(kCbSymtabAddr);
     view.symtab_len = word(kCbSymtabLen);
+
+    // Reboot detection on re-handshake: if we had deployed state but the
+    // remote scratch allocator is back at its base, the node lost its
+    // memory since our last handshake. Every deployed XState, image, and
+    // hook binding is gone — restart the bookkeeping from scratch.
+    const bool had_state = !flow->hooks_.empty() ||
+                           !flow->xstate_addrs_.empty() ||
+                           flow->next_meta_slot_ != 0;
+    if (had_state && word(kCbScratchBrk) == view.scratch_addr) {
+      flow->xstate_addrs_.clear();
+      flow->hooks_.clear();
+      flow->next_meta_slot_ = 0;
+      flow->epoch_ = view.epoch;
+    }
 
     // Step 2: read the symbol table (the exposed global context / GOT).
     auto sym_buf = LocalScratch(view.symtab_len);
@@ -197,6 +225,7 @@ void ControlPlane::CreateCodeFlow(
         done(FailedPrecondition("truncated symbol table"));
         return;
       }
+      flow->symbols_.clear();
       for (std::uint32_t i = 0; i < count; ++i) {
         const std::uint64_t hash =
             LoadLE<std::uint64_t>(raw.data() + 4 + i * 16);
@@ -207,6 +236,85 @@ void ControlPlane::CreateCodeFlow(
       done(flow);
     });
   });
+}
+
+void ControlPlane::ReconnectCodeFlow(CodeFlow& flow, Done done) {
+  // The old QP is unusable once errored (real verbs would destroy it);
+  // bring up a fresh pair on both ends and re-run the handshake over it.
+  rdma::QueuePair& local_qp = fabric_.CreateQp(self_, *cq_, *cq_);
+  rdma::CompletionQueue& remote_cq = fabric_.CreateCq(flow.node_);
+  rdma::QueuePair& remote_qp =
+      fabric_.CreateQp(flow.node_, remote_cq, remote_cq);
+  Status connected = fabric_.Connect(local_qp, remote_qp);
+  if (!connected.ok()) {
+    done(connected);
+    return;
+  }
+  flow.qp = &local_qp;
+  Handshake(&flow, [done = std::move(done)](StatusOr<CodeFlow*> f) {
+    done(f.ok() ? OkStatus() : f.status());
+  });
+}
+
+void ControlPlane::ProbeHook(
+    CodeFlow& flow, int hook,
+    std::function<void(StatusOr<HookProbe>)> done) {
+  auto slot_buf = LocalScratch(8);
+  if (!slot_buf.ok()) {
+    done(slot_buf.status());
+    return;
+  }
+  rdma::SendWr read_slot;
+  read_slot.opcode = rdma::Opcode::kRead;
+  read_slot.local = {slot_buf.value(), 8, local_mr_.lkey};
+  read_slot.remote_addr = flow.remote_view_.hook_table_addr +
+                          static_cast<std::uint64_t>(hook) * 8;
+  read_slot.rkey = flow.rkey;
+  Post(flow, read_slot, [this, &flow, slot_buf = slot_buf.value(),
+                         done = std::move(done)](
+                            const rdma::WorkCompletion& wc) mutable {
+    if (wc.status != rdma::WcStatus::kSuccess) {
+      done(Unavailable("hook slot read failed"));
+      return;
+    }
+    auto& mem = fabric_.node(self_).memory();
+    const std::uint64_t desc_addr = mem.ReadU64(slot_buf).value();
+    if (desc_addr == 0) {
+      done(HookProbe{});
+      return;
+    }
+    auto ver_buf = LocalScratch(8);
+    if (!ver_buf.ok()) {
+      done(ver_buf.status());
+      return;
+    }
+    rdma::SendWr read_ver;
+    read_ver.opcode = rdma::Opcode::kRead;
+    read_ver.local = {ver_buf.value(), 8, local_mr_.lkey};
+    read_ver.remote_addr = desc_addr + kDescVersion;
+    read_ver.rkey = flow.rkey;
+    Post(flow, read_ver, [this, desc_addr, ver_buf = ver_buf.value(),
+                          done = std::move(done)](
+                             const rdma::WorkCompletion& wc2) mutable {
+      if (wc2.status != rdma::WcStatus::kSuccess) {
+        done(Unavailable("desc version read failed"));
+        return;
+      }
+      auto& mem = fabric_.node(self_).memory();
+      done(HookProbe{desc_addr, mem.ReadU64(ver_buf).value()});
+    });
+  });
+}
+
+sim::SimTime ControlPlane::LastSuccess(rdma::NodeId node) const {
+  auto it = last_success_.find(node);
+  return it == last_success_.end() ? -1 : it->second;
+}
+
+bool ControlPlane::NodeHealthy(rdma::NodeId node,
+                               sim::Duration lease) const {
+  const sim::SimTime last = LastSuccess(node);
+  return last >= 0 && events_.Now() - last <= lease;
 }
 
 // ---- compile pipeline -------------------------------------------------

@@ -95,6 +95,7 @@ class CodeFlow {
   friend class ControlPlane;
   friend class CollectiveCodeFlow;
   friend class Inspector;
+  friend class RecoveryManager;
   rdma::NodeId node_ = rdma::kInvalidNode;
   Sandbox* sandbox = nullptr;  // simulation-side backref for visibility
   rdma::QueuePair* qp = nullptr;
@@ -130,6 +131,30 @@ class ControlPlane {
   // ---- CodeFlow lifecycle ----
   void CreateCodeFlow(Sandbox& sandbox, const Sandbox::Registration& reg,
                       std::function<void(StatusOr<CodeFlow*>)> done);
+
+  // Recovery: tears down the flow's (errored) QP, establishes a fresh
+  // connection, and re-runs the handshake — re-reads the control block
+  // and symbol table. If the remote sandbox lost its state since the last
+  // handshake (epoch regressed, i.e. the node crashed and rebooted), the
+  // flow's XState/hook bookkeeping is reset so deploys start clean.
+  void ReconnectCodeFlow(CodeFlow& flow, Done done);
+
+  // Agentless probe of the committed state of `hook`: reads the hook slot
+  // and, when bound, the descriptor's version word. Used to make retried
+  // deploys idempotent (was my commit already applied?).
+  struct HookProbe {
+    std::uint64_t desc_addr = 0;
+    std::uint64_t version = 0;
+  };
+  void ProbeHook(CodeFlow& flow, int hook,
+                 std::function<void(StatusOr<HookProbe>)> done);
+
+  // ---- health view ----
+  // Lease-style liveness from the data path: a node is healthy if some
+  // operation on it completed successfully within the last `lease` ns.
+  // Returns -1 if the node never completed an operation.
+  sim::SimTime LastSuccess(rdma::NodeId node) const;
+  bool NodeHealthy(rdma::NodeId node, sim::Duration lease) const;
 
   // ---- compile pipeline (control-plane CPU) ----
   // Verifies `prog`, charging the control plane's CPU. Results cached.
@@ -241,6 +266,7 @@ class ControlPlane {
 
  private:
   friend class Inspector;
+  friend class RecoveryManager;
   struct PendingOp {
     std::function<void(const rdma::WorkCompletion&)> on_complete;
   };
@@ -248,6 +274,10 @@ class ControlPlane {
   // Posts a WR on the flow's QP; `done` fires with the completion.
   void Post(CodeFlow& flow, rdma::SendWr wr,
             std::function<void(const rdma::WorkCompletion&)> done);
+  // Shared tail of CreateCodeFlow/ReconnectCodeFlow: RDMA-read the
+  // control block, then the symbol table, and populate the flow.
+  void Handshake(CodeFlow* flow,
+                 std::function<void(StatusOr<CodeFlow*>)> done);
   // Allocates `bytes` in the remote scratchpad via FETCH_ADD on brk.
   void RemoteAlloc(CodeFlow& flow, std::uint64_t bytes,
                    std::function<void(StatusOr<std::uint64_t>)> done);
@@ -276,6 +306,8 @@ class ControlPlane {
   std::vector<std::unique_ptr<CodeFlow>> flows_;
   std::unordered_map<std::uint64_t, PendingOp> pending_;
   std::uint64_t next_wr_id_ = 1;
+  // Health view: per node, sim time of the last successful completion.
+  std::unordered_map<rdma::NodeId, sim::SimTime> last_success_;
 
   // Compile caches: program fingerprint -> image.
   std::unordered_map<std::uint64_t, bpf::JitImage> ebpf_cache_;

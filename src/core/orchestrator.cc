@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "core/reliability.h"
+
 namespace rdx::core {
 
 namespace {
@@ -103,6 +105,10 @@ StatusOr<OrchestrationPlan> ParseOrchestration(std::string_view text) {
         pos = comma + 1;
       }
       if (decl.nodes.empty()) return LineError(line_no, "empty group");
+      if (words.size() > 3) {
+        return LineError(line_no,
+                         "unknown group attribute '" + words[3] + "'");
+      }
       if (plan.groups.count(decl.name) != 0) {
         return LineError(line_no, "duplicate group '" + decl.name + "'");
       }
@@ -137,6 +143,23 @@ StatusOr<OrchestrationPlan> ParseOrchestration(std::string_view text) {
             action.consistency = ConsistencyLevel::kEventual;
           } else {
             return LineError(line_no, "unknown consistency '" + value + "'");
+          }
+        } else if (key == "max_retries" && verb == "deploy") {
+          if (value.empty() ||
+              value.find_first_not_of("0123456789") != std::string::npos) {
+            return LineError(line_no,
+                             "max_retries must be a non-negative integer");
+          }
+          action.max_retries = std::atoi(value.c_str());
+        } else if (key == "on_failure" && verb == "deploy") {
+          if (value == "abort") {
+            action.on_failure = OnFailure::kAbort;
+          } else if (value == "skip") {
+            action.on_failure = OnFailure::kSkip;
+          } else if (value == "rollback") {
+            action.on_failure = OnFailure::kRollback;
+          } else {
+            return LineError(line_no, "unknown on_failure '" + value + "'");
           }
         } else {
           return LineError(line_no, "unknown attribute '" + key + "'");
@@ -281,54 +304,93 @@ void Orchestrator::RunAction(
         return;
       }
 
-      // rolling / parallel: per-node injections.
-      auto remaining = std::make_shared<std::size_t>(targets.size());
-      auto first_error = std::make_shared<Status>();
-      auto on_node = [remaining, first_error, next, what,
-                      &action](StatusOr<InjectTrace> r) mutable {
-        if (!r.ok() && first_error->ok()) *first_error = r.status();
-        if (--*remaining == 0) {
-          next(what + (action.strategy == RolloutStrategy::kRolling
-                           ? " [rolling]"
-                           : " [parallel]"),
-               *first_error);
+      // rolling / parallel: per-node injections through DeployOne (which
+      // engages the recovery layer when the action asks for retries).
+      auto succeeded = std::make_shared<std::vector<CodeFlow*>>();
+      auto failed = std::make_shared<std::size_t>(0);
+      const char* tag = action.strategy == RolloutStrategy::kRolling
+                            ? " [rolling]"
+                            : " [parallel]";
+      // Completes the action once its nodes are settled, applying the
+      // failure policy to whatever `failed`/`succeeded` accumulated.
+      auto settle = [this, next, what, tag, report, succeeded, failed, &decl,
+                     &action](Status abort_status) mutable {
+        if (*failed == 0) {
+          next(what + tag, OkStatus());
+          return;
+        }
+        report->nodes_failed += *failed;
+        ++report->actions_degraded;
+        switch (action.on_failure) {
+          case OnFailure::kAbort:
+            next(what + tag, abort_status);
+            return;
+          case OnFailure::kSkip: {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), " skipped %zu failed node(s)",
+                          *failed);
+            next(what + tag + buf, OkStatus());
+            return;
+          }
+          case OnFailure::kRollback:
+            RollbackWave(*succeeded, decl.hook,
+                         [next, what, tag, report,
+                          failed](std::size_t reverted) mutable {
+                           report->nodes_rolled_back += reverted;
+                           char buf[96];
+                           std::snprintf(buf, sizeof(buf),
+                                         " %zu node(s) failed; rolled back "
+                                         "%zu",
+                                         *failed, reverted);
+                           next(what + tag + buf, OkStatus());
+                         });
+            return;
         }
       };
+
       if (action.strategy == RolloutStrategy::kParallel) {
+        auto remaining = std::make_shared<std::size_t>(targets.size());
+        auto first_error = std::make_shared<Status>();
         for (CodeFlow* flow : targets) {
-          if (decl.is_wasm) {
-            cp_.InjectWasmFilter(*flow, filters_.at(decl.name), decl.hook,
-                                 on_node);
-          } else {
-            cp_.InjectExtension(*flow, programs_.at(decl.name), decl.hook,
-                                on_node);
-          }
+          DeployOne(decl, action, flow,
+                    [flow, remaining, first_error, succeeded, failed,
+                     settle](Status s) mutable {
+                      if (s.ok()) {
+                        succeeded->push_back(flow);
+                      } else {
+                        ++*failed;
+                        if (first_error->ok()) *first_error = s;
+                      }
+                      if (--*remaining == 0) settle(*first_error);
+                    });
         }
         return;
       }
-      // Rolling: strictly one node at a time; the first failure aborts
-      // the remainder of the wave.
+      // Rolling: strictly one node at a time. abort stops the wave at the
+      // first failure; skip/rollback walk the whole group so the policy
+      // sees the full picture.
       auto roll = std::make_shared<std::function<void(std::size_t)>>();
-      *roll = [this, targets, &decl, next, what,
+      *roll = [this, targets, &decl, &action, succeeded, failed, settle,
                roll](std::size_t i) mutable {
         if (i >= targets.size()) {
-          next(what + " [rolling]", OkStatus());
+          settle(OkStatus());
           return;
         }
-        auto chained = [roll, i, next, what](StatusOr<InjectTrace> r) mutable {
-          if (!r.ok()) {
-            next(what + " [rolling]", r.status());
-            return;
-          }
-          (*roll)(i + 1);
-        };
-        if (decl.is_wasm) {
-          cp_.InjectWasmFilter(*targets[i], filters_.at(decl.name),
-                               decl.hook, chained);
-        } else {
-          cp_.InjectExtension(*targets[i], programs_.at(decl.name),
-                              decl.hook, chained);
-        }
+        DeployOne(decl, action, targets[i],
+                  [i, targets, succeeded, failed, settle, roll,
+                   &action](Status s) mutable {
+                    if (s.ok()) {
+                      succeeded->push_back(targets[i]);
+                      (*roll)(i + 1);
+                      return;
+                    }
+                    ++*failed;
+                    if (action.on_failure == OnFailure::kAbort) {
+                      settle(s);
+                      return;
+                    }
+                    (*roll)(i + 1);
+                  });
       };
       (*roll)(0);
       return;
@@ -353,6 +415,61 @@ void Orchestrator::RunAction(
       }
       return;
     }
+  }
+}
+
+void Orchestrator::DeployOne(const ExtensionDecl& decl, const Action& action,
+                             CodeFlow* flow,
+                             std::function<void(Status)> done) {
+  if (recovery_ != nullptr && action.max_retries > 0) {
+    auto adapt = [done = std::move(done)](StatusOr<RecoveryOutcome> r) {
+      done(r.ok() ? OkStatus() : r.status());
+    };
+    if (decl.is_wasm) {
+      recovery_->DeployWasmReliably(*flow, filters_.at(decl.name), decl.hook,
+                                    std::move(adapt), action.max_retries);
+    } else {
+      recovery_->DeployReliably(*flow, programs_.at(decl.name), decl.hook,
+                                std::move(adapt), action.max_retries);
+    }
+    return;
+  }
+  auto adapt = [done = std::move(done)](StatusOr<InjectTrace> r) {
+    done(r.ok() ? OkStatus() : r.status());
+  };
+  if (decl.is_wasm) {
+    cp_.InjectWasmFilter(*flow, filters_.at(decl.name), decl.hook,
+                         std::move(adapt));
+  } else {
+    cp_.InjectExtension(*flow, programs_.at(decl.name), decl.hook,
+                        std::move(adapt));
+  }
+}
+
+void Orchestrator::RollbackWave(std::vector<CodeFlow*> nodes, int hook,
+                                std::function<void(std::size_t)> done) {
+  if (nodes.empty()) {
+    done(0);
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(nodes.size());
+  auto reverted = std::make_shared<std::size_t>(0);
+  auto finish = std::make_shared<std::function<void(std::size_t)>>(
+      std::move(done));
+  for (CodeFlow* flow : nodes) {
+    auto on_node = [remaining, reverted, finish](Status s) {
+      if (s.ok()) ++*reverted;
+      if (--*remaining == 0) (*finish)(*reverted);
+    };
+    cp_.Rollback(*flow, hook, [this, flow, hook, on_node](Status s) mutable {
+      if (s.ok()) {
+        on_node(OkStatus());
+        return;
+      }
+      // First-ever deploy on this hook: no previous version exists, so
+      // "revert" means detach.
+      cp_.Detach(*flow, hook, on_node);
+    });
   }
 }
 

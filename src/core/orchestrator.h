@@ -30,9 +30,17 @@
 
 namespace rdx::core {
 
+class RecoveryManager;
+
 enum class RolloutStrategy : std::uint8_t { kBroadcast, kRolling, kParallel };
 enum class ConsistencyLevel : std::uint8_t { kEventual, kBbu };
 enum class ActionKind : std::uint8_t { kDeploy, kRollback, kDetach };
+// What a deploy does when a node keeps failing after its retries:
+//   abort     stop the plan (default — previous behavior)
+//   skip      note the failure, keep deploying to the rest
+//   rollback  revert every node this action already updated, then
+//             continue with the next action
+enum class OnFailure : std::uint8_t { kAbort, kSkip, kRollback };
 
 struct ExtensionDecl {
   std::string name;
@@ -51,6 +59,9 @@ struct Action {
   std::string group;
   RolloutStrategy strategy = RolloutStrategy::kBroadcast;
   ConsistencyLevel consistency = ConsistencyLevel::kEventual;
+  // Per-node retries via the RecoveryManager (0 = plain injection).
+  int max_retries = 0;
+  OnFailure on_failure = OnFailure::kAbort;
 };
 
 struct OrchestrationPlan {
@@ -64,6 +75,11 @@ StatusOr<OrchestrationPlan> ParseOrchestration(std::string_view text);
 
 struct OrchestrationReport {
   std::size_t actions_executed = 0;
+  // Deploy actions that lost at least one node (on_failure=skip|rollback
+  // keeps the plan going; these counters say what it cost).
+  std::size_t actions_degraded = 0;
+  std::size_t nodes_failed = 0;
+  std::size_t nodes_rolled_back = 0;
   sim::Duration total = 0;
   std::vector<std::string> log;  // one human-readable line per action
 };
@@ -81,6 +97,11 @@ class Orchestrator {
   void RegisterProgram(std::string name, bpf::Program prog);
   void RegisterFilter(std::string name, wasm::FilterModule module);
 
+  // Routes deploy actions with max_retries > 0 through the self-healing
+  // layer (retry/reconnect/idempotent adoption). Without it, max_retries
+  // is ignored and deploys are plain injections.
+  void SetRecovery(RecoveryManager* recovery) { recovery_ = recovery; }
+
   // Static checks without touching the cluster: unknown extension/group
   // references, node indices out of range, hooks out of range.
   Status ValidatePlan(const OrchestrationPlan& plan) const;
@@ -96,8 +117,17 @@ class Orchestrator {
                  std::shared_ptr<OrchestrationReport> report,
                  std::function<void(StatusOr<OrchestrationReport>)> done,
                  sim::SimTime t0);
+  // One per-node injection, via the recovery layer when the action asks
+  // for retries and SetRecovery() was called.
+  void DeployOne(const ExtensionDecl& decl, const Action& action,
+                 CodeFlow* flow, std::function<void(Status)> done);
+  // Reverts `hook` on every flow in `nodes` (Rollback, falling back to
+  // Detach for nodes with no prior version); reports how many reverted.
+  void RollbackWave(std::vector<CodeFlow*> nodes, int hook,
+                    std::function<void(std::size_t)> done);
 
   ControlPlane& cp_;
+  RecoveryManager* recovery_ = nullptr;
   std::vector<CodeFlow*> flows_;
   std::unordered_map<std::string, bpf::Program> programs_;
   std::unordered_map<std::string, wasm::FilterModule> filters_;

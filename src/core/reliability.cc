@@ -1,0 +1,204 @@
+#include "core/reliability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/log.h"
+#include "rdma/qp.h"
+
+namespace rdx::core {
+
+// One in-flight reliable deploy. Attempts are numbered; the deadline
+// timer and late completions of a superseded attempt are filtered by
+// comparing their sequence number against `attempt_seq`.
+struct RecoveryManager::AttemptState {
+  CodeFlow* flow = nullptr;
+  int hook = 0;
+  // Runs one injection; calls back with its verdict.
+  std::function<void(std::function<void(Status)>)> attempt;
+  DeployDone done;
+  int max_retries = 0;
+  // Generation this deploy is responsible for committing. Captured
+  // before the first attempt so retry probes can tell "my commit
+  // landed, only the acknowledgement was lost" from "not deployed".
+  std::uint64_t target_version = 0;
+  int attempts = 0;
+  int reconnects = 0;
+  bool adopted = false;
+  bool finished = false;
+  sim::SimTime t0 = 0;
+  int attempt_seq = 0;
+  sim::EventQueue::EventId deadline_id = 0;
+};
+
+void RecoveryManager::DeployReliably(CodeFlow& flow, const bpf::Program& prog,
+                                     int hook, DeployDone done,
+                                     int max_retries) {
+  CodeFlow* f = &flow;
+  ControlPlane& cp = cp_;
+  Start(
+      flow, hook,
+      [f, &cp, prog, hook](std::function<void(Status)> verdict) {
+        cp.InjectExtension(*f, prog, hook,
+                           [verdict = std::move(verdict)](
+                               StatusOr<InjectTrace> r) { verdict(r.status()); });
+      },
+      std::move(done), max_retries);
+}
+
+void RecoveryManager::DeployWasmReliably(CodeFlow& flow,
+                                         const wasm::FilterModule& module,
+                                         int hook, DeployDone done,
+                                         int max_retries) {
+  CodeFlow* f = &flow;
+  ControlPlane& cp = cp_;
+  Start(
+      flow, hook,
+      [f, &cp, module, hook](std::function<void(Status)> verdict) {
+        cp.InjectWasmFilter(
+            *f, module, hook,
+            [verdict = std::move(verdict)](StatusOr<InjectTrace> r) {
+              verdict(r.status());
+            });
+      },
+      std::move(done), max_retries);
+}
+
+void RecoveryManager::Start(
+    CodeFlow& flow, int hook,
+    std::function<void(std::function<void(Status)>)> attempt, DeployDone done,
+    int max_retries) {
+  auto st = std::make_shared<AttemptState>();
+  st->flow = &flow;
+  st->hook = hook;
+  st->attempt = std::move(attempt);
+  st->done = std::move(done);
+  st->max_retries = max_retries >= 0 ? max_retries : policy_.max_retries;
+  st->target_version = flow.HookVersion(hook) + 1;
+  st->t0 = cp_.events().Now();
+  RunAttempt(std::move(st));
+}
+
+void RecoveryManager::RunAttempt(std::shared_ptr<AttemptState> st) {
+  if (st->finished) return;
+  ++st->attempts;
+  const int seq = ++st->attempt_seq;
+  st->deadline_id =
+      cp_.events().ScheduleAfter(policy_.attempt_deadline, [this, st, seq] {
+        if (st->finished || seq != st->attempt_seq) return;
+        // Invalidate the in-flight attempt: its completion, if it ever
+        // arrives, must not race the retry.
+        ++st->attempt_seq;
+        HandleFailure(st, Unavailable("deploy attempt timed out"));
+      });
+  st->attempt([this, st, seq](Status s) {
+    if (st->finished || seq != st->attempt_seq) return;
+    cp_.events().Cancel(st->deadline_id);
+    if (s.ok()) {
+      FinishOk(st);
+    } else {
+      HandleFailure(st, std::move(s));
+    }
+  });
+}
+
+void RecoveryManager::HandleFailure(std::shared_ptr<AttemptState> st,
+                                    Status s) {
+  if (st->finished) return;
+  if (st->attempts > st->max_retries) {
+    st->finished = true;
+    RDX_DEBUG("recovery: hook %d on node %u gave up after %d attempts: %s",
+              st->hook, st->flow->node(), st->attempts, s.message().c_str());
+    st->done(std::move(s));
+    return;
+  }
+  RDX_DEBUG("recovery: hook %d on node %u attempt %d failed (%s), recovering",
+            st->hook, st->flow->node(), st->attempts, s.message().c_str());
+
+  auto probe_then_backoff = [this, st] {
+    if (st->finished) return;
+    // Idempotency probe: did the failed attempt actually commit? If the
+    // remote hook slot already carries our target generation, adopt it
+    // rather than deploying the same version twice.
+    cp_.ProbeHook(*st->flow, st->hook, [this,
+                                       st](StatusOr<ControlPlane::HookProbe>
+                                               probe) {
+      if (st->finished) return;
+      if (probe.ok() && probe.value().desc_addr != 0 &&
+          probe.value().version == st->target_version) {
+        auto& dep = st->flow->hooks_[st->hook];
+        if (dep.desc_addr != 0 && dep.desc_addr != probe.value().desc_addr) {
+          dep.desc_history.push_back(dep.desc_addr);
+        }
+        dep.desc_addr = probe.value().desc_addr;
+        // The image region behind the adopted desc is unknown; force the
+        // next update onto a fresh transactional allocation.
+        dep.image_addr = 0;
+        dep.region_capacity = 0;
+        dep.version = probe.value().version;
+        st->adopted = true;
+        RDX_DEBUG("recovery: hook %d on node %u adopted committed v%llu",
+                  st->hook, st->flow->node(),
+                  (unsigned long long)probe.value().version);
+        // Data-plane visibility for the adopted commit (the original
+        // attempt may have died before its flush).
+        cp_.CcEvent(*st->flow, st->hook, [this, st](Status) {
+          if (!st->finished) FinishOk(st);
+        });
+        return;
+      }
+      Backoff(st);
+    });
+  };
+
+  rdma::QueuePair* qp = st->flow->qp;
+  if (qp == nullptr || qp->state() != rdma::QpState::kRts) {
+    ++st->reconnects;
+    cp_.ReconnectCodeFlow(*st->flow,
+                          [st, probe_then_backoff, this](Status rs) {
+                            if (st->finished) return;
+                            if (!rs.ok()) {
+                              // Node still unreachable; keep backing off —
+                              // the next failure reconnects again.
+                              Backoff(st);
+                              return;
+                            }
+                            probe_then_backoff();
+                          });
+    return;
+  }
+  probe_then_backoff();
+}
+
+void RecoveryManager::Backoff(std::shared_ptr<AttemptState> st) {
+  if (st->finished) return;
+  if (st->attempts > st->max_retries) {
+    st->finished = true;
+    st->done(Unavailable("deploy retries exhausted"));
+    return;
+  }
+  cp_.events().ScheduleAfter(BackoffDelay(st->attempts),
+                             [this, st] { RunAttempt(st); });
+}
+
+void RecoveryManager::FinishOk(std::shared_ptr<AttemptState> st) {
+  st->finished = true;
+  RecoveryOutcome out;
+  out.attempts = st->attempts;
+  out.reconnects = st->reconnects;
+  out.adopted = st->adopted;
+  out.version = st->flow->HookVersion(st->hook);
+  out.elapsed = cp_.events().Now() - st->t0;
+  st->done(std::move(out));
+}
+
+sim::Duration RecoveryManager::BackoffDelay(int attempt) {
+  double delay = static_cast<double>(policy_.base_backoff) *
+                 std::pow(policy_.backoff_multiplier, attempt - 1);
+  // Deterministic jitter: scale by [1-j, 1+j) from the seeded stream.
+  delay *= 1.0 + policy_.jitter * (2.0 * rng_.NextDouble() - 1.0);
+  return static_cast<sim::Duration>(std::max(delay, 1.0));
+}
+
+}  // namespace rdx::core

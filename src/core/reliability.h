@@ -1,0 +1,88 @@
+// Self-healing layer over the control plane (§5 resilience). A deploy
+// through the RecoveryManager survives QP flaps, lossy links, and node
+// crash-and-reboot cycles:
+//
+//   retry        per-attempt deadline, exponential backoff with
+//                deterministic jitter (common/rng.h)
+//   reconnect    fresh QP pair + CodeFlow re-handshake (re-reads the
+//                control block and symbol table; detects reboots)
+//   idempotency  deploys carry a generation (hook version); before a
+//                retry the manager probes the remote hook slot, so a
+//                commit whose acknowledgement was lost is adopted
+//                instead of re-applied — every deploy commits exactly
+//                once
+//   health       per-node lease from the control plane's last
+//                successful completion (ControlPlane::NodeHealthy)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "core/codeflow.h"
+
+namespace rdx::core {
+
+struct RetryPolicy {
+  // Total attempts = 1 + max_retries.
+  int max_retries = 5;
+  sim::Duration base_backoff = sim::Micros(20);
+  double backoff_multiplier = 2.0;
+  // Backoff delays are scaled by a deterministic factor in [1-j, 1+j).
+  double jitter = 0.25;
+  // An attempt with no verdict after this long counts as failed.
+  sim::Duration attempt_deadline = sim::Millis(50);
+  // Health lease for Healthy().
+  sim::Duration lease = sim::Millis(5);
+};
+
+struct RecoveryOutcome {
+  int attempts = 1;
+  int reconnects = 0;
+  // The generation was found already committed on a retry probe (the
+  // failure hit after the commit point) and was adopted, not re-applied.
+  bool adopted = false;
+  std::uint64_t version = 0;  // committed hook version
+  sim::Duration elapsed = 0;
+};
+
+class RecoveryManager {
+ public:
+  using DeployDone = std::function<void(StatusOr<RecoveryOutcome>)>;
+
+  explicit RecoveryManager(ControlPlane& cp, RetryPolicy policy = {},
+                           std::uint64_t seed = 1)
+      : cp_(cp), policy_(policy), rng_(seed) {}
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  // InjectExtension / InjectWasmFilter with the full recovery treatment.
+  // `max_retries` < 0 uses the policy default.
+  void DeployReliably(CodeFlow& flow, const bpf::Program& prog, int hook,
+                      DeployDone done, int max_retries = -1);
+  void DeployWasmReliably(CodeFlow& flow, const wasm::FilterModule& module,
+                          int hook, DeployDone done, int max_retries = -1);
+
+  bool Healthy(const CodeFlow& flow) const {
+    return cp_.NodeHealthy(flow.node(), policy_.lease);
+  }
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  struct AttemptState;
+  void Start(CodeFlow& flow, int hook,
+             std::function<void(std::function<void(Status)>)> attempt,
+             DeployDone done, int max_retries);
+  void RunAttempt(std::shared_ptr<AttemptState> st);
+  void HandleFailure(std::shared_ptr<AttemptState> st, Status s);
+  void Backoff(std::shared_ptr<AttemptState> st);
+  void FinishOk(std::shared_ptr<AttemptState> st);
+  sim::Duration BackoffDelay(int attempt);
+
+  ControlPlane& cp_;
+  RetryPolicy policy_;
+  Rng rng_;
+};
+
+}  // namespace rdx::core

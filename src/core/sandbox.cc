@@ -95,7 +95,14 @@ Status Sandbox::CtxInit() {
                        mem.Allocate(config_.scratch_bytes, 4096));
   view_.scratch_size = config_.scratch_bytes;
 
-  // Publish the control block.
+  RDX_RETURN_IF_ERROR(PublishControlBlock());
+
+  hooks_.assign(config_.hook_count, HookState{});
+  booted_ = true;
+  return OkStatus();
+}
+
+Status Sandbox::PublishControlBlock() {
   RDX_RETURN_IF_ERROR(WriteWord(view_.cb_addr + kCbMagic, kControlBlockMagic));
   RDX_RETURN_IF_ERROR(WriteWord(view_.cb_addr + kCbEpoch, 0));
   RDX_RETURN_IF_ERROR(WriteWord(view_.cb_addr + kCbLock, 0));
@@ -118,7 +125,33 @@ Status Sandbox::CtxInit() {
   RDX_RETURN_IF_ERROR(WriteWord(view_.cb_addr + kCbSymtabLen,
                                 view_.symtab_len));
   RDX_RETURN_IF_ERROR(WriteWord(view_.cb_addr + kCbDoorbell, 0));
+  return OkStatus();
+}
 
+void Sandbox::Crash() {
+  if (!booted_) return;
+  // Power loss: all DRAM behind the sandbox is gone, along with whatever
+  // the control plane had deployed into it.
+  auto& mem = node_.memory();
+  const std::uint64_t begin = view_.cb_addr;
+  const std::uint64_t end = view_.scratch_addr + view_.scratch_size;
+  Bytes zeros(end - begin, 0);
+  (void)mem.Write(begin, zeros);
+  hooks_.assign(config_.hook_count, HookState{});
+  rt_.maps.clear();
+  booted_ = false;
+}
+
+Status Sandbox::Reboot() {
+  if (booted_) return FailedPrecondition("sandbox is running");
+  if (view_.cb_addr == 0) return FailedPrecondition("sandbox never booted");
+  // The boot sequence is deterministic and the layout addresses are
+  // fixed, so the node comes back at the same {cb_addr, rkey} with a
+  // fresh scratch allocator and epoch 0.
+  Bytes symtab;
+  BuildSymbolTable(symtab);
+  RDX_RETURN_IF_ERROR(node_.memory().Write(view_.symtab_addr, symtab));
+  RDX_RETURN_IF_ERROR(PublishControlBlock());
   hooks_.assign(config_.hook_count, HookState{});
   booted_ = true;
   return OkStatus();

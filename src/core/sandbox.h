@@ -78,6 +78,18 @@ class Sandbox {
   StatusOr<Registration> CtxRegister();
   Status CtxTeardown(int hook);
 
+  // ---- fault simulation ----
+  // Power loss: every byte behind the sandbox (control block through
+  // scratchpad) is wiped and the data plane stops executing. The RNIC
+  // registration survives in the simulator (modeling a persistent MTT /
+  // fast re-register on boot), so a rebooted node is reachable at the
+  // same {cb_addr, rkey}.
+  void Crash();
+  // Deterministic reboot at the same addresses: re-publishes the control
+  // block and symbol table and resets the scratch allocator and epoch.
+  // Everything the control plane had deployed is gone.
+  Status Reboot();
+
   // ---- data-plane execution ----
   // Runs the eBPF image attached at `hook` on `packet` (copied into the
   // sandbox ctx buffer). Empty hooks return r0 = 1 ("accept") and count
@@ -133,6 +145,8 @@ class Sandbox {
 
   StatusOr<std::uint64_t> ReadWord(std::uint64_t addr) const;
   Status WriteWord(std::uint64_t addr, std::uint64_t value);
+  // Writes the control block words + symbol table (boot and reboot).
+  Status PublishControlBlock();
   // Loads + decodes the image behind hook's visible desc into the cache.
   Status LoadHookImage(int hook);
   void BuildSymbolTable(Bytes& out) const;

@@ -1,0 +1,206 @@
+#include "fault/injector.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace rdx::fault {
+
+namespace {
+// Corruption targets bulk image transfers, not the 8-byte doorbell or
+// 40-byte descriptor writes that share the wire with them.
+constexpr std::size_t kCorruptMinPayload = 64;
+}  // namespace
+
+FaultInjector::~FaultInjector() {
+  if (armed_) fabric_.SetFaultHook(nullptr);
+}
+
+void FaultInjector::SetNodeHooks(rdma::NodeId node, NodeHooks hooks) {
+  node_hooks_[node] = std::move(hooks);
+}
+
+Status FaultInjector::Arm(const FaultPlan& plan) {
+  if (armed_) return FailedPrecondition("injector already armed");
+  armed_ = true;
+  rng_ = Rng(plan.seed);
+  fabric_.SetFaultHook(this);
+
+  for (const FaultEvent& ev : plan.events) {
+    switch (ev.kind) {
+      case FaultKind::kQpError:
+        events_.ScheduleAt(ev.at, [this, node = ev.node] {
+          FireQpError(node);
+        });
+        break;
+      case FaultKind::kCrash:
+        events_.ScheduleAt(ev.at,
+                           [this, node = ev.node, after = ev.reboot_after] {
+                             FireCrash(node, after);
+                           });
+        break;
+      case FaultKind::kPartition:
+      case FaultKind::kDegrade:
+      case FaultKind::kDrop: {
+        windows_.push_back(Window{ev.kind, ev.node, ev.at, ev.at + ev.window,
+                                  ev.factor, ev.probability});
+        // Begin marker so window faults appear in the trace even when no
+        // traffic crosses them.
+        events_.ScheduleAt(ev.at, [this, kind = ev.kind, node = ev.node,
+                                   window = ev.window] {
+          char buf[128];
+          std::snprintf(buf, sizeof(buf),
+                        "t=%" PRId64 " %s node=%d begin for=%" PRId64,
+                        events_.Now(), FaultKindName(kind),
+                        node == rdma::kInvalidNode ? -1
+                                                   : static_cast<int>(node),
+                        window);
+          Record(buf);
+        });
+        break;
+      }
+      case FaultKind::kCorrupt:
+        corrupts_.push_back(PendingCorrupt{ev.node, ev.at, ev.bytes, false});
+        break;
+    }
+  }
+  return OkStatus();
+}
+
+bool FaultInjector::WindowHits(const Window& w, const rdma::QueuePair& qp,
+                               sim::SimTime now) const {
+  if (now < w.from || now >= w.to) return false;
+  return w.node == rdma::kInvalidNode || w.node == qp.node() ||
+         w.node == qp.remote_node();
+}
+
+rdma::FaultHook::WireFault FaultInjector::OnExecute(const rdma::QueuePair& qp,
+                                                    const rdma::SendWr& wr,
+                                                    Bytes* payload) {
+  const sim::SimTime now = events_.Now();
+  WireFault fault;
+
+  // One-shot corruption of the next bulk WRITE headed for the node.
+  for (PendingCorrupt& c : corrupts_) {
+    if (c.done || now < c.at || qp.remote_node() != c.node) continue;
+    if (wr.opcode != rdma::Opcode::kWrite ||
+        payload->size() < kCorruptMinPayload) {
+      continue;
+    }
+    c.done = true;
+    // Flip bytes in the front half of the payload: for deploy transfers
+    // that is image data (the trailing descriptor would also be caught,
+    // but the MAC-over-image path is the claim under test).
+    for (std::uint32_t i = 0; i < c.bytes; ++i) {
+      const std::size_t pos = rng_.NextBounded(payload->size() / 2);
+      (*payload)[pos] ^= static_cast<std::uint8_t>(1 + rng_.NextBounded(255));
+    }
+    ++faults_injected_;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "t=%" PRId64 " corrupt node=%u wr=%" PRIu64
+                  " bytes=%u len=%zu",
+                  now, c.node, wr.wr_id, c.bytes, payload->size());
+    Record(buf);
+  }
+
+  for (const Window& w : windows_) {
+    if (!WindowHits(w, qp, now)) continue;
+    switch (w.kind) {
+      case FaultKind::kPartition:
+        fault.drop = true;
+        break;
+      case FaultKind::kDrop:
+        if (rng_.NextBool(w.probability)) fault.drop = true;
+        break;
+      case FaultKind::kDegrade: {
+        const std::size_t bytes = 64 + payload->size();
+        fault.extra_latency += static_cast<sim::Duration>(
+            (w.factor - 1.0) *
+            static_cast<double>(fabric_.link().OneWay(bytes)));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  if (fault.drop) {
+    ++faults_injected_;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "t=%" PRId64 " drop qp=%u wr=%" PRIu64 " dst=%u", now,
+                  qp.num(), wr.wr_id, qp.remote_node());
+    Record(buf);
+  }
+  return fault;
+}
+
+bool FaultInjector::NodeDown(rdma::NodeId node) const {
+  return down_.count(node) != 0;
+}
+
+void FaultInjector::OnComplete(const rdma::QueuePair& qp,
+                               const rdma::SendWr& wr,
+                               rdma::WcStatus status) {
+  (void)qp;
+  (void)wr;
+  if (status != rdma::WcStatus::kSuccess) ++completions_failed_;
+}
+
+void FaultInjector::FireQpError(rdma::NodeId node) {
+  int errored = 0;
+  for (rdma::QueuePair* qp : fabric_.QpsTouching(node)) {
+    if (qp->state() == rdma::QpState::kRts) {
+      qp->SetError();
+      ++errored;
+    }
+  }
+  ++faults_injected_;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "t=%" PRId64 " qp_error node=%u qps=%d",
+                events_.Now(), node, errored);
+  Record(buf);
+}
+
+void FaultInjector::FireCrash(rdma::NodeId node, sim::Duration reboot_after) {
+  down_.insert(node);
+  // Crashing kills the node's RNIC too: every established connection
+  // touching it breaks.
+  int errored = 0;
+  for (rdma::QueuePair* qp : fabric_.QpsTouching(node)) {
+    if (qp->state() == rdma::QpState::kRts) {
+      qp->SetError();
+      ++errored;
+    }
+  }
+  auto it = node_hooks_.find(node);
+  if (it != node_hooks_.end() && it->second.on_crash) it->second.on_crash();
+  ++faults_injected_;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "t=%" PRId64 " crash node=%u qps=%d reboot_after=%" PRId64,
+                events_.Now(), node, errored, reboot_after);
+  Record(buf);
+  if (reboot_after > 0) {
+    events_.ScheduleAfter(reboot_after, [this, node] { FireReboot(node); });
+  }
+}
+
+void FaultInjector::FireReboot(rdma::NodeId node) {
+  down_.erase(node);
+  auto it = node_hooks_.find(node);
+  if (it != node_hooks_.end() && it->second.on_reboot) it->second.on_reboot();
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "t=%" PRId64 " reboot node=%u",
+                events_.Now(), node);
+  Record(buf);
+}
+
+void FaultInjector::Record(std::string line) {
+  RDX_DEBUG("fault: %s", line.c_str());
+  trace_.push_back(std::move(line));
+}
+
+}  // namespace rdx::fault

@@ -1,0 +1,97 @@
+// Deterministic fault injector. Arms a FaultPlan against the simulated
+// fabric: timed events (qp_error, crash/reboot) are scheduled on the sim
+// clock, windowed behaviors (partition, degrade, drop) and one-shot
+// payload corruption are applied from the fabric's FaultHook seam as
+// traffic flows. All randomness comes from the plan's seed, so the same
+// plan + seed reproduces a bit-identical fault trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "fault/plan.h"
+#include "rdma/fabric.h"
+#include "sim/event_queue.h"
+
+namespace rdx::fault {
+
+class FaultInjector final : public rdma::FaultHook {
+ public:
+  FaultInjector(sim::EventQueue& events, rdma::Fabric& fabric)
+      : events_(events), fabric_(fabric) {}
+  ~FaultInjector() override;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // What "crash" and "reboot" mean for a node is decided above the rdma
+  // layer (e.g. wipe a core::Sandbox). Tests and benches wire these in.
+  struct NodeHooks {
+    std::function<void()> on_crash;
+    std::function<void()> on_reboot;
+  };
+  void SetNodeHooks(rdma::NodeId node, NodeHooks hooks);
+
+  // Installs the injector on the fabric and schedules every event of
+  // `plan` at its fault time. Call once per simulation run.
+  Status Arm(const FaultPlan& plan);
+
+  // rdma::FaultHook implementation (called by the fabric).
+  WireFault OnExecute(const rdma::QueuePair& qp, const rdma::SendWr& wr,
+                      Bytes* payload) override;
+  bool NodeDown(rdma::NodeId node) const override;
+  void OnComplete(const rdma::QueuePair& qp, const rdma::SendWr& wr,
+                  rdma::WcStatus status) override;
+
+  // Human-readable, deterministic log of every injected fault, in
+  // injection order: "t=<ns> <kind> node=<n> ...". Two runs with the same
+  // seed and plan produce byte-identical traces.
+  const std::vector<std::string>& trace() const { return trace_; }
+
+  std::uint64_t faults_injected() const { return faults_injected_; }
+  std::uint64_t completions_failed() const { return completions_failed_; }
+
+ private:
+  struct Window {
+    FaultKind kind;
+    rdma::NodeId node;  // kInvalidNode == every node
+    sim::SimTime from;
+    sim::SimTime to;
+    double factor;       // degrade
+    double probability;  // drop
+  };
+
+  bool WindowHits(const Window& w, const rdma::QueuePair& qp,
+                  sim::SimTime now) const;
+  void FireQpError(rdma::NodeId node);
+  void FireCrash(rdma::NodeId node, sim::Duration reboot_after);
+  void FireReboot(rdma::NodeId node);
+  void Record(std::string line);
+
+  sim::EventQueue& events_;
+  rdma::Fabric& fabric_;
+  Rng rng_{1};
+  bool armed_ = false;
+
+  std::vector<Window> windows_;
+  struct PendingCorrupt {
+    rdma::NodeId node;
+    sim::SimTime at;
+    std::uint32_t bytes;
+    bool done = false;
+  };
+  std::vector<PendingCorrupt> corrupts_;
+  std::unordered_set<rdma::NodeId> down_;
+  std::unordered_map<rdma::NodeId, NodeHooks> node_hooks_;
+
+  std::vector<std::string> trace_;
+  std::uint64_t faults_injected_ = 0;
+  std::uint64_t completions_failed_ = 0;
+};
+
+}  // namespace rdx::fault

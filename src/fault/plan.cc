@@ -1,0 +1,204 @@
+#include "fault/plan.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace rdx::fault {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kQpError: return "qp_error";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kDegrade: return "degrade";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kDrop: return "drop";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Status LineError(int line_no, const std::string& msg) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "line %d: %s", line_no, msg.c_str());
+  return InvalidArgument(buf);
+}
+
+std::vector<std::string> SplitWords(std::string_view line) {
+  std::vector<std::string> words;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    std::size_t j = i;
+    while (j < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[j]))) {
+      ++j;
+    }
+    if (j > i) words.emplace_back(line.substr(i, j - i));
+    i = j;
+  }
+  return words;
+}
+
+std::pair<std::string, std::string> KeyValue(const std::string& word) {
+  const std::size_t eq = word.find('=');
+  if (eq == std::string::npos || eq == 0) return {"", ""};
+  return {word.substr(0, eq), word.substr(eq + 1)};
+}
+
+// "10us" → 10000. Bare numbers are nanoseconds.
+bool ParseDuration(const std::string& value, sim::Duration* out) {
+  if (value.empty()) return false;
+  std::size_t digits = 0;
+  while (digits < value.size() &&
+         std::isdigit(static_cast<unsigned char>(value[digits]))) {
+    ++digits;
+  }
+  if (digits == 0) return false;
+  const std::int64_t n = std::strtoll(value.substr(0, digits).c_str(),
+                                      nullptr, 10);
+  const std::string suffix = value.substr(digits);
+  if (suffix.empty() || suffix == "ns") {
+    *out = sim::Nanos(n);
+  } else if (suffix == "us") {
+    *out = sim::Micros(n);
+  } else if (suffix == "ms") {
+    *out = sim::Millis(n);
+  } else if (suffix == "s") {
+    *out = sim::Seconds(n);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseNode(const std::string& value, rdma::NodeId* out) {
+  if (value == "*") {
+    *out = rdma::kInvalidNode;
+    return true;
+  }
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *out = static_cast<rdma::NodeId>(std::strtoul(value.c_str(), nullptr, 10));
+  return true;
+}
+
+}  // namespace
+
+StatusOr<FaultPlan> ParseFaultPlan(std::string_view text) {
+  FaultPlan plan;
+  int line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t eol = text.find('\n', start);
+    std::string_view line = text.substr(
+        start,
+        eol == std::string_view::npos ? text.size() - start : eol - start);
+    start = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (const std::size_t hash = line.find('#');
+        hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    std::vector<std::string> words = SplitWords(line);
+    if (words.empty()) continue;
+
+    const std::string& verb = words[0];
+    if (verb == "seed") {
+      if (words.size() != 2 ||
+          words[1].find_first_not_of("0123456789") != std::string::npos) {
+        return LineError(line_no, "seed needs a number");
+      }
+      plan.seed = std::strtoull(words[1].c_str(), nullptr, 10);
+      continue;
+    }
+
+    FaultEvent ev;
+    bool has_node = false;
+    bool has_at = false;
+    if (verb == "qp_error") {
+      ev.kind = FaultKind::kQpError;
+    } else if (verb == "partition") {
+      ev.kind = FaultKind::kPartition;
+    } else if (verb == "degrade") {
+      ev.kind = FaultKind::kDegrade;
+    } else if (verb == "crash") {
+      ev.kind = FaultKind::kCrash;
+    } else if (verb == "corrupt") {
+      ev.kind = FaultKind::kCorrupt;
+    } else if (verb == "drop") {
+      ev.kind = FaultKind::kDrop;
+    } else {
+      return LineError(line_no, "unknown fault kind '" + verb + "'");
+    }
+
+    for (std::size_t w = 1; w < words.size(); ++w) {
+      auto [key, value] = KeyValue(words[w]);
+      if (key == "node") {
+        if (!ParseNode(value, &ev.node)) {
+          return LineError(line_no, "bad node '" + value + "'");
+        }
+        has_node = true;
+      } else if (key == "at") {
+        if (!ParseDuration(value, &ev.at)) {
+          return LineError(line_no, "bad time '" + value + "'");
+        }
+        has_at = true;
+      } else if (key == "for") {
+        if (!ParseDuration(value, &ev.window)) {
+          return LineError(line_no, "bad duration '" + value + "'");
+        }
+      } else if (key == "reboot_after") {
+        if (!ParseDuration(value, &ev.reboot_after)) {
+          return LineError(line_no, "bad duration '" + value + "'");
+        }
+      } else if (key == "factor") {
+        ev.factor = std::strtod(value.c_str(), nullptr);
+        if (ev.factor < 1.0) {
+          return LineError(line_no, "factor must be >= 1");
+        }
+      } else if (key == "bytes") {
+        const std::int64_t n = std::strtoll(value.c_str(), nullptr, 10);
+        if (n <= 0) return LineError(line_no, "bytes must be > 0");
+        ev.bytes = static_cast<std::uint32_t>(n);
+      } else if (key == "p") {
+        ev.probability = std::strtod(value.c_str(), nullptr);
+        if (ev.probability < 0.0 || ev.probability > 1.0) {
+          return LineError(line_no, "p must be in [0, 1]");
+        }
+      } else {
+        return LineError(line_no, "unknown attribute '" + key + "'");
+      }
+    }
+
+    if (!has_node) return LineError(line_no, "fault needs node=");
+    if (!has_at) return LineError(line_no, "fault needs at=");
+    const bool windowed = ev.kind == FaultKind::kPartition ||
+                          ev.kind == FaultKind::kDegrade ||
+                          ev.kind == FaultKind::kDrop;
+    if (windowed && ev.window <= 0) {
+      return LineError(line_no, std::string(FaultKindName(ev.kind)) +
+                                    " needs for=<window>");
+    }
+    if (ev.kind == FaultKind::kDrop && ev.probability <= 0.0) {
+      return LineError(line_no, "drop needs p=<probability>");
+    }
+    if (!windowed && ev.node == rdma::kInvalidNode) {
+      return LineError(line_no, std::string(FaultKindName(ev.kind)) +
+                                    " cannot use node=*");
+    }
+    plan.events.push_back(ev);
+  }
+  return plan;
+}
+
+}  // namespace rdx::fault

@@ -1,0 +1,57 @@
+// Declarative fault schedules. A FaultPlan is a small line-oriented DSL
+// in the same spirit as the orchestrator plans: one fault per line,
+// `key=value` attributes, `#` comments, line-numbered parse errors.
+//
+//   seed 42
+//   qp_error  node=1 at=10us
+//   crash     node=1 at=50us reboot_after=200us
+//   partition node=2 at=5us for=20us
+//   degrade   node=2 at=5us for=20us factor=8
+//   corrupt   node=1 at=30us bytes=4
+//   drop      node=* at=0 for=1ms p=0.05
+//
+// Times accept ns/us/ms/s suffixes (bare numbers are nanoseconds) and
+// `node=*` targets every node (only for the windowed kinds).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "rdma/types.h"
+#include "sim/time.h"
+
+namespace rdx::fault {
+
+enum class FaultKind : std::uint8_t {
+  kQpError,    // flip every QP touching the node into Error at `at`
+  kPartition,  // all traffic touching the node is dropped in [at, at+window)
+  kDegrade,    // traffic touching the node is `factor`× slower in the window
+  kCrash,      // node dies at `at` (memory wiped); reboots after reboot_after
+  kCorrupt,    // flips `bytes` bytes of the next large WRITE to the node
+  kDrop,       // each op touching the node is lost with probability p
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind;
+  rdma::NodeId node = rdma::kInvalidNode;  // kInvalidNode == wildcard '*'
+  sim::SimTime at = 0;
+  sim::Duration window = 0;        // partition / degrade / drop
+  sim::Duration reboot_after = 0;  // crash; 0 == never reboots
+  double factor = 1.0;             // degrade
+  std::uint32_t bytes = 1;         // corrupt
+  double probability = 0.0;        // drop
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultEvent> events;
+};
+
+// Parses the DSL above. Errors carry 1-based line numbers.
+StatusOr<FaultPlan> ParseFaultPlan(std::string_view text);
+
+}  // namespace rdx::fault

@@ -73,6 +73,18 @@ Status Fabric::Connect(QueuePair& a, QueuePair& b) {
   return OkStatus();
 }
 
+std::vector<QueuePair*> Fabric::QpsTouching(NodeId node) {
+  std::vector<QueuePair*> out;
+  for (auto& n : nodes_) {
+    for (auto& qp : n->qps_) {
+      if (qp->node() == node || qp->remote_node() == node) {
+        out.push_back(qp.get());
+      }
+    }
+  }
+  return out;
+}
+
 namespace {
 // Wire sizes: one-sided WRITE/SEND carry the payload outbound; READ
 // carries the payload on the response; atomics are header-sized.
@@ -99,6 +111,10 @@ std::size_t ResponseBytes(const SendWr& wr) {
       return kHeaderBytes;  // ACK
   }
 }
+
+// How long the requester NIC keeps retransmitting before it gives up and
+// reports RETRY_EXCEEDED (≈ retry_cnt × local ACK timeout on real HCAs).
+constexpr sim::Duration kRetryExceededDelay = sim::Micros(30);
 }  // namespace
 
 void Fabric::Execute(QueuePair& qp, const SendWr& wr) {
@@ -119,16 +135,41 @@ void Fabric::Execute(QueuePair& qp, const SendWr& wr) {
     }
   }
 
+  // Fault hook: the injector may lose the packet, stretch the wire, or
+  // flip payload bytes before the NIC serializes them.
+  FaultHook::WireFault fault;
+  if (fault_hook_ != nullptr) {
+    fault = fault_hook_->OnExecute(qp, wr, &payload);
+  }
+
   // Timing: the sender NIC serializes the payload onto the wire
   // (store-and-forward), the remote effect applies after propagation, and
   // RC ordering clamps both arrival and completion to post order.
   QpTiming& timing = qp_timing_[qp.num()];
   const sim::SimTime now = events_.Now();
+
+  if (fault.drop) {
+    // Lost on the wire: retransmits burn down the retry budget, then the
+    // requester reports RETRY_EXCEEDED. Completion order still holds.
+    const sim::SimTime completion =
+        std::max(now + kRetryExceededDelay, timing.last_completion);
+    timing.last_completion = completion;
+    events_.ScheduleAt(completion, [this, &qp, wr]() {
+      OpOutcome dropped;
+      dropped.status = qp.state() == QpState::kError
+                           ? WcStatus::kWorkRequestFlushed
+                           : WcStatus::kRetryExceeded;
+      Complete(qp, wr, dropped);
+    });
+    return;
+  }
+
   const sim::SimTime tx_start = std::max(now, timing.wire_free);
   const double tx_ns =
       static_cast<double>(OutboundBytes(wr)) / link_.bytes_per_ns;
   timing.wire_free = tx_start + static_cast<sim::Duration>(tx_ns);
-  sim::SimTime arrival = timing.wire_free + link_.base_latency;
+  sim::SimTime arrival =
+      timing.wire_free + link_.base_latency + fault.extra_latency;
   arrival = std::max(arrival, timing.last_arrival);
   timing.last_arrival = arrival;
   const sim::Duration response = link_.OneWay(ResponseBytes(wr));
@@ -140,86 +181,35 @@ void Fabric::Execute(QueuePair& qp, const SendWr& wr) {
   events_.ScheduleAt(arrival, [this, &qp, wr,
                                payload = std::move(payload),
                                response]() mutable {
-    if (qp.state() == QpState::kError) return;
+    if (qp.state() == QpState::kError) {
+      // The QP failed while this WR was in flight: it is flushed, and the
+      // requester still gets a completion for it — after the completion
+      // of whatever WR killed the QP (RC completion order).
+      QpTiming& t = qp_timing_[qp.num()];
+      const sim::SimTime flush_at =
+          std::max(events_.Now(), t.last_completion);
+      t.last_completion = flush_at;
+      events_.ScheduleAt(flush_at, [this, &qp, wr]() {
+        OpOutcome flushed;
+        flushed.status = WcStatus::kWorkRequestFlushed;
+        Complete(qp, wr, flushed);
+      });
+      return;
+    }
     SendWr wr_copy = wr;
     OpOutcome outcome;
-    Node& remote = *nodes_.at(qp.remote_node());
-    switch (wr.opcode) {
-      case Opcode::kWrite: {
-        Status s = remote.memory().DmaWrite(wr.rkey, /*remote=*/true,
-                                            wr.remote_addr, payload);
-        outcome.status =
-            s.ok() ? WcStatus::kSuccess : WcStatus::kRemoteAccessError;
-        outcome.byte_len = wr.local.length;
-        if (s.ok()) bytes_written_ += wr.local.length;
-        break;
-      }
-      case Opcode::kRead: {
-        outcome.read_payload.resize(wr.local.length);
-        Status s = remote.memory().DmaRead(wr.rkey, /*remote=*/true,
-                                           wr.remote_addr,
-                                           outcome.read_payload);
-        outcome.status =
-            s.ok() ? WcStatus::kSuccess : WcStatus::kRemoteAccessError;
-        outcome.byte_len = wr.local.length;
-        break;
-      }
-      case Opcode::kSend: {
-        QueuePair* remote_qp = nullptr;
-        for (auto& q : remote.qps_) {
-          if (q->num() == qp.remote_qp()) remote_qp = q.get();
-        }
-        RecvWr recv;
-        if (remote_qp == nullptr || !remote_qp->PopRecv(recv)) {
-          // Receiver-not-ready with retries exhausted.
-          outcome.status = WcStatus::kRetryExceeded;
-          break;
-        }
-        if (payload.size() > recv.local.length) {
-          outcome.status = WcStatus::kRemoteInvalidRequest;
-          break;
-        }
-        Status s = remote.memory().DmaWrite(recv.local.lkey, /*remote=*/false,
-                                            recv.local.addr, payload);
-        outcome.status =
-            s.ok() ? WcStatus::kSuccess : WcStatus::kRemoteAccessError;
-        outcome.byte_len = static_cast<std::uint32_t>(payload.size());
-        if (s.ok()) {
-          outcome.recv_consumed = true;
-          outcome.recv_wr_id = recv.wr_id;
-          WorkCompletion rwc;
-          rwc.wr_id = recv.wr_id;
-          rwc.status = WcStatus::kSuccess;
-          rwc.opcode = Opcode::kSend;
-          rwc.byte_len = outcome.byte_len;
-          rwc.qp_num = remote_qp->num();
-          rwc.completed_at = events_.Now();
-          remote_qp->recv_cq().Push(rwc);
-        }
-        break;
-      }
-      case Opcode::kCompareSwap: {
-        auto r = remote.memory().DmaCompareSwap(wr.rkey, wr.remote_addr,
-                                                wr.compare_add, wr.swap);
-        if (r.ok()) {
-          outcome.atomic_original = r.value();
-          outcome.byte_len = 8;
-        } else {
-          outcome.status = WcStatus::kRemoteInvalidRequest;
-        }
-        break;
-      }
-      case Opcode::kFetchAdd: {
-        auto r = remote.memory().DmaFetchAdd(wr.rkey, wr.remote_addr,
-                                             wr.compare_add);
-        if (r.ok()) {
-          outcome.atomic_original = r.value();
-          outcome.byte_len = 8;
-        } else {
-          outcome.status = WcStatus::kRemoteInvalidRequest;
-        }
-        break;
-      }
+    if (fault_hook_ != nullptr && fault_hook_->NodeDown(qp.remote_node())) {
+      // Dead peer: no ACK ever comes back.
+      outcome.status = WcStatus::kRetryExceeded;
+    } else {
+      outcome = ApplyRemote(qp, wr, payload);
+    }
+    if (outcome.status != WcStatus::kSuccess) {
+      // The responder NAKs (or the retry budget burns out) at this point
+      // in the packet stream: the QP stops here, so WRs still in flight
+      // behind this one are flushed at their arrival, not executed. The
+      // failed WR's own completion is still delivered with its status.
+      qp.SetError();
     }
     ++ops_executed_;
     QpTiming& t = qp_timing_[qp.num()];
@@ -230,6 +220,90 @@ void Fabric::Execute(QueuePair& qp, const SendWr& wr) {
       Complete(qp, wr_copy, outcome);
     });
   });
+}
+
+Fabric::OpOutcome Fabric::ApplyRemote(QueuePair& qp, const SendWr& wr,
+                                      const Bytes& payload) {
+  OpOutcome outcome;
+  Node& remote = *nodes_.at(qp.remote_node());
+  switch (wr.opcode) {
+    case Opcode::kWrite: {
+      Status s = remote.memory().DmaWrite(wr.rkey, /*remote=*/true,
+                                          wr.remote_addr, payload);
+      outcome.status =
+          s.ok() ? WcStatus::kSuccess : WcStatus::kRemoteAccessError;
+      outcome.byte_len = wr.local.length;
+      if (s.ok()) bytes_written_ += wr.local.length;
+      break;
+    }
+    case Opcode::kRead: {
+      outcome.read_payload.resize(wr.local.length);
+      Status s = remote.memory().DmaRead(wr.rkey, /*remote=*/true,
+                                         wr.remote_addr,
+                                         outcome.read_payload);
+      outcome.status =
+          s.ok() ? WcStatus::kSuccess : WcStatus::kRemoteAccessError;
+      outcome.byte_len = wr.local.length;
+      break;
+    }
+    case Opcode::kSend: {
+      QueuePair* remote_qp = nullptr;
+      for (auto& q : remote.qps_) {
+        if (q->num() == qp.remote_qp()) remote_qp = q.get();
+      }
+      RecvWr recv;
+      if (remote_qp == nullptr || !remote_qp->PopRecv(recv)) {
+        // Receiver-not-ready with retries exhausted.
+        outcome.status = WcStatus::kRetryExceeded;
+        break;
+      }
+      if (payload.size() > recv.local.length) {
+        outcome.status = WcStatus::kRemoteInvalidRequest;
+        break;
+      }
+      Status s = remote.memory().DmaWrite(recv.local.lkey, /*remote=*/false,
+                                          recv.local.addr, payload);
+      outcome.status =
+          s.ok() ? WcStatus::kSuccess : WcStatus::kRemoteAccessError;
+      outcome.byte_len = static_cast<std::uint32_t>(payload.size());
+      if (s.ok()) {
+        outcome.recv_consumed = true;
+        outcome.recv_wr_id = recv.wr_id;
+        WorkCompletion rwc;
+        rwc.wr_id = recv.wr_id;
+        rwc.status = WcStatus::kSuccess;
+        rwc.opcode = Opcode::kSend;
+        rwc.byte_len = outcome.byte_len;
+        rwc.qp_num = remote_qp->num();
+        rwc.completed_at = events_.Now();
+        remote_qp->recv_cq().Push(rwc);
+      }
+      break;
+    }
+    case Opcode::kCompareSwap: {
+      auto r = remote.memory().DmaCompareSwap(wr.rkey, wr.remote_addr,
+                                              wr.compare_add, wr.swap);
+      if (r.ok()) {
+        outcome.atomic_original = r.value();
+        outcome.byte_len = 8;
+      } else {
+        outcome.status = WcStatus::kRemoteInvalidRequest;
+      }
+      break;
+    }
+    case Opcode::kFetchAdd: {
+      auto r = remote.memory().DmaFetchAdd(wr.rkey, wr.remote_addr,
+                                           wr.compare_add);
+      if (r.ok()) {
+        outcome.atomic_original = r.value();
+        outcome.byte_len = 8;
+      } else {
+        outcome.status = WcStatus::kRemoteInvalidRequest;
+      }
+      break;
+    }
+  }
+  return outcome;
 }
 
 void Fabric::Complete(QueuePair& qp, const SendWr& wr,
@@ -257,6 +331,8 @@ void Fabric::Complete(QueuePair& qp, const SendWr& wr,
               static_cast<int>(wr.opcode), WcStatusName(status));
     qp.SetError();
   }
+
+  if (fault_hook_ != nullptr) fault_hook_->OnComplete(qp, wr, status);
 
   if (wr.signaled || status != WcStatus::kSuccess) {
     WorkCompletion wc;

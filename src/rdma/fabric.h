@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "rdma/cq.h"
+#include "rdma/fault_hook.h"
 #include "rdma/memory.h"
 #include "rdma/qp.h"
 #include "rdma/types.h"
@@ -66,6 +67,14 @@ class Fabric {
   sim::EventQueue& events() { return events_; }
   const sim::LinkModel& link() const { return link_; }
 
+  // Installs (or clears, with nullptr) the fault-injection hook. At most
+  // one hook is active; the fabric does not own it.
+  void SetFaultHook(FaultHook* hook) { fault_hook_ = hook; }
+
+  // All QPs that would be disturbed by losing `node`: QPs hosted on it
+  // plus QPs on other nodes whose connection terminates there.
+  std::vector<QueuePair*> QpsTouching(NodeId node);
+
   // Counters for tests/benches.
   std::uint64_t ops_executed() const { return ops_executed_; }
   std::uint64_t bytes_written() const { return bytes_written_; }
@@ -81,11 +90,12 @@ class Fabric {
   };
 
   // Applies the remote-side effect of `wr` at arrival time.
-  OpOutcome ApplyRemote(QueuePair& qp, const SendWr& wr);
+  OpOutcome ApplyRemote(QueuePair& qp, const SendWr& wr, const Bytes& payload);
   void Complete(QueuePair& qp, const SendWr& wr, const OpOutcome& outcome);
 
   sim::EventQueue& events_;
   sim::LinkModel link_;
+  FaultHook* fault_hook_ = nullptr;
   std::vector<std::unique_ptr<Node>> nodes_;
   QpNum next_qp_num_ = 100;
   std::uint64_t ops_executed_ = 0;

@@ -1,0 +1,46 @@
+// Fault-injection seam for the simulated fabric. The fabric consults an
+// optional FaultHook at the three points where a real RDMA deployment
+// can go wrong: when a work request hits the wire (drop, delay, payload
+// corruption), when it reaches the remote NIC (dead peer), and when the
+// completion is delivered (observability). The hook lives below core/:
+// it sees only rdma-layer types, so higher layers (src/fault/) decide
+// policy while the fabric stays mechanism-only.
+#pragma once
+
+#include "common/bytes.h"
+#include "rdma/types.h"
+#include "sim/time.h"
+
+namespace rdx::rdma {
+
+class QueuePair;
+
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  // Verdict for one outbound work request.
+  struct WireFault {
+    // The packet (and all its retransmits) is lost: the requester NIC
+    // burns its retry budget and reports kRetryExceeded.
+    bool drop = false;
+    // Added one-way propagation delay (link degradation).
+    sim::Duration extra_latency = 0;
+  };
+
+  // Called at post time, before the payload is serialized onto the wire.
+  // The hook may mutate `payload` in place to model in-flight bit flips
+  // (only meaningful for WRITE/SEND; empty otherwise).
+  virtual WireFault OnExecute(const QueuePair& qp, const SendWr& wr,
+                              Bytes* payload) = 0;
+
+  // True while `node` is crashed: requests addressed to it get no ACK
+  // and surface kRetryExceeded at the requester.
+  virtual bool NodeDown(NodeId node) const = 0;
+
+  // Called when a completion is delivered to the requester CQ.
+  virtual void OnComplete(const QueuePair& qp, const SendWr& wr,
+                          WcStatus status) = 0;
+};
+
+}  // namespace rdx::rdma

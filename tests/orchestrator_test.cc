@@ -68,6 +68,67 @@ TEST(OrchestrationParser, ErrorsCarryLineNumbers) {
       << plan.status().ToString();
 }
 
+TEST(OrchestrationParser, DuplicateDeclarationsCarryLineNumbers) {
+  auto dup_ext = ParseOrchestration(
+      "extension f kind=ebpf\ngroup g nodes=0\nextension f kind=ebpf\n");
+  ASSERT_FALSE(dup_ext.ok());
+  EXPECT_NE(dup_ext.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(dup_ext.status().message().find("duplicate extension 'f'"),
+            std::string::npos)
+      << dup_ext.status().ToString();
+
+  auto dup_group = ParseOrchestration(
+      "group g nodes=0\ngroup g nodes=1\n");
+  ASSERT_FALSE(dup_group.ok());
+  EXPECT_NE(dup_group.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(dup_group.status().message().find("duplicate group 'g'"),
+            std::string::npos)
+      << dup_group.status().ToString();
+
+  auto empty_nodes = ParseOrchestration("\ngroup g nodes=\n");
+  ASSERT_FALSE(empty_nodes.ok());
+  EXPECT_NE(empty_nodes.status().message().find("line 2"), std::string::npos)
+      << empty_nodes.status().ToString();
+
+  auto extra_attr = ParseOrchestration("group g nodes=0 color=red\n");
+  ASSERT_FALSE(extra_attr.ok());
+  EXPECT_NE(extra_attr.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(extra_attr.status().message().find("color=red"),
+            std::string::npos)
+      << extra_attr.status().ToString();
+}
+
+TEST(OrchestrationParser, RetryAndFailurePolicy) {
+  auto plan = ParseOrchestration(R"(
+    extension firewall kind=ebpf hook=0
+    group all nodes=0,1
+    deploy firewall to=all strategy=rolling max_retries=3 on_failure=rollback
+    deploy firewall to=all strategy=parallel on_failure=skip
+    deploy firewall to=all
+  )");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->actions.size(), 3u);
+  EXPECT_EQ(plan->actions[0].max_retries, 3);
+  EXPECT_EQ(plan->actions[0].on_failure, OnFailure::kRollback);
+  EXPECT_EQ(plan->actions[1].on_failure, OnFailure::kSkip);
+  EXPECT_EQ(plan->actions[2].max_retries, 0);
+  EXPECT_EQ(plan->actions[2].on_failure, OnFailure::kAbort);
+
+  EXPECT_FALSE(ParseOrchestration(
+                   "extension f kind=ebpf\ngroup g nodes=0\n"
+                   "deploy f to=g max_retries=lots\n")
+                   .ok());
+  EXPECT_FALSE(ParseOrchestration(
+                   "extension f kind=ebpf\ngroup g nodes=0\n"
+                   "deploy f to=g on_failure=panic\n")
+                   .ok());
+  // Policy attributes are deploy-only.
+  EXPECT_FALSE(ParseOrchestration(
+                   "extension f kind=ebpf\ngroup g nodes=0\n"
+                   "detach f from=g on_failure=skip\n")
+                   .ok());
+}
+
 // ---- validation + execution ----
 
 struct OrchestraRig {

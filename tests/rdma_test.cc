@@ -3,6 +3,9 @@
 // error/flush semantics.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "rdma/fabric.h"
 
 namespace rdx::rdma {
@@ -403,6 +406,61 @@ TEST(Fabric, UnsignaledWritesProduceNoCompletion) {
   net.events.Run();
   EXPECT_TRUE(net.cq_a->Poll().empty());
   EXPECT_EQ(net.fabric.ops_executed(), 1u);
+}
+
+TEST(WcStatus, NameCoversEveryValue) {
+  const WcStatus all[] = {
+      WcStatus::kSuccess,           WcStatus::kLocalProtectionError,
+      WcStatus::kRemoteAccessError, WcStatus::kRemoteInvalidRequest,
+      WcStatus::kWorkRequestFlushed, WcStatus::kRetryExceeded,
+  };
+  std::set<std::string> names;
+  for (WcStatus s : all) {
+    const std::string name = WcStatusName(s);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "UNKNOWN") << "unmapped status " << static_cast<int>(s);
+    names.insert(name);
+  }
+  // Every status maps to a distinct string.
+  EXPECT_EQ(names.size(), std::size(all));
+  EXPECT_STREQ(WcStatusName(WcStatus::kWorkRequestFlushed),
+               "WORK_REQUEST_FLUSHED");
+  EXPECT_STREQ(WcStatusName(WcStatus::kRetryExceeded), "RETRY_EXCEEDED");
+}
+
+TEST(Fabric, ErrorFlushesInFlightWrs) {
+  TwoNodes net;
+  auto [src, src_mr] = net.Buffer(*net.a, 64, kAllAccess);
+  auto [dst, dst_mr] = net.Buffer(*net.b, 64, kAllAccess);
+  // Bad write posted first, good write right behind it — both are
+  // in flight when the first one fails. The second must complete as
+  // flushed (not silently vanish, not execute against the remote).
+  SendWr bad;
+  bad.wr_id = 1;
+  bad.opcode = Opcode::kWrite;
+  bad.local = {src, 8, src_mr.lkey};
+  bad.remote_addr = 0x10000;
+  bad.rkey = 0xdead;
+  SendWr good;
+  good.wr_id = 2;
+  good.opcode = Opcode::kWrite;
+  good.local = {src, 8, src_mr.lkey};
+  good.remote_addr = dst;
+  good.rkey = dst_mr.rkey;
+  ASSERT_TRUE(net.a->memory().WriteU64(src, 0x5555).ok());
+  ASSERT_TRUE(net.qp_a->PostSend(bad).ok());
+  ASSERT_TRUE(net.qp_a->PostSend(good).ok());
+  net.events.Run();
+
+  auto wcs = net.cq_a->Poll();
+  ASSERT_EQ(wcs.size(), 2u);
+  EXPECT_EQ(wcs[0].wr_id, 1u);
+  EXPECT_EQ(wcs[0].status, WcStatus::kRemoteAccessError);
+  EXPECT_EQ(wcs[1].wr_id, 2u);
+  EXPECT_EQ(wcs[1].status, WcStatus::kWorkRequestFlushed);
+  EXPECT_EQ(net.qp_a->state(), QpState::kError);
+  // The flushed write never touched the destination.
+  EXPECT_EQ(net.b->memory().ReadU64(dst).value(), 0u);
 }
 
 TEST(Cq, OverrunDropsEntries) {
