@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs the resilience benches (fault_recovery + guardrail_overhead) and
+# writes each machine-readable `BENCH_<name>.json {...}` line from their
+# stdout to BENCH_<name>.json at the repo root.
+#
+# Usage: scripts/bench.sh            # from anywhere inside the repo
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)" --target fault_recovery guardrail_overhead
+
+rm -f "$repo"/BENCH_*.json.tmp
+for bench in fault_recovery guardrail_overhead; do
+  echo "== bench: $bench =="
+  out="$(./build/bench/$bench)"
+  echo "$out"
+  # Each BENCH_<name>.json line becomes (or appends to) that file; a
+  # bench emitting one line per sweep point yields a JSON-lines file.
+  echo "$out" | grep '^BENCH_' | while read -r tag json; do
+    echo "$json" >> "$repo/$tag.tmp"
+  done
+done
+
+# Atomically replace previous results.
+for tmp in "$repo"/BENCH_*.json.tmp; do
+  [[ -e "$tmp" ]] || continue
+  mv "$tmp" "${tmp%.tmp}"
+  echo "wrote ${tmp%.tmp}"
+done

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Repository gate: tier-1 verification (full build + every test) plus a
-# strict -Wall -Wextra -Werror compile of all src/ libraries.
+# Repository gate: tier-1 verification (full build + every test), a
+# strict -Wall -Wextra -Werror compile of all src/ libraries, and an
+# ASan+UBSan build + test pass (catches the lifetime/aliasing bugs the
+# guardrail and fault paths are most prone to).
 #
 # Usage: scripts/check.sh            # from anywhere inside the repo
+#        RDX_SKIP_SANITIZERS=1 scripts/check.sh   # quick gate only
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -20,6 +23,17 @@ cmake -B build-werror -S . \
 cmake --build build-werror -j"$(nproc)" --target \
   rdx_common rdx_sim rdx_rdma rdx_bpf rdx_wasm \
   rdx_agent rdx_core rdx_fault rdx_mesh rdx_kvstore
+
+if [[ "${RDX_SKIP_SANITIZERS:-0}" != "1" ]]; then
+  echo
+  echo "== sanitizers: ASan + UBSan build + ctest =="
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
+  cmake --build build-asan -j"$(nproc)"
+  ctest --test-dir build-asan --output-on-failure -j"$(nproc)"
+fi
 
 echo
 echo "check.sh: all gates passed"

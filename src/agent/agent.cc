@@ -229,13 +229,17 @@ void NodeAgent::LoadWasmFilter(
 void NodeAgent::StartStatePolling() {
   if (polling_ || config_.state_poll_interval <= 0) return;
   polling_ = true;
+  // Weak self-reference: the pending event holds the strong ref, so the
+  // poll loop frees itself once polling stops (no shared_ptr cycle).
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, tick] {
-    if (!polling_) return;
+  std::weak_ptr<std::function<void()>> weak = tick;
+  *tick = [this, weak] {
+    auto self = weak.lock();
+    if (!polling_ || !self) return;
     cpu_.Submit(config_.cost.agent_state_poll_cycles, [] {});
-    events_.ScheduleAfter(config_.state_poll_interval, *tick);
+    events_.ScheduleAfter(config_.state_poll_interval, [self] { (*self)(); });
   };
-  events_.ScheduleAfter(config_.state_poll_interval, *tick);
+  events_.ScheduleAfter(config_.state_poll_interval, [tick] { (*tick)(); });
 }
 
 void NodeAgent::StopStatePolling() { polling_ = false; }
@@ -295,8 +299,11 @@ void AgentController::RolloutImpl(
   auto waves_shared =
       std::make_shared<std::vector<std::vector<std::size_t>>>(
           std::move(waves));
-  *run_wave = [this, state, run_wave, waves_shared, spec, hook, push,
+  std::weak_ptr<std::function<void(std::size_t)>> weak = run_wave;
+  *run_wave = [this, state, weak, waves_shared, spec, hook, push,
                done = std::move(done)](std::size_t w) mutable {
+    auto self = weak.lock();
+    if (!self) return;
     if (w >= waves_shared->size() || !state->error.ok()) {
       RolloutResult result;
       result.inconsistency_window = state->last_commit - state->t0;
@@ -312,12 +319,12 @@ void AgentController::RolloutImpl(
     const std::vector<std::size_t>& wave = (*waves_shared)[w];
     auto remaining = std::make_shared<std::size_t>(wave.size());
     if (wave.empty()) {
-      (*run_wave)(w + 1);
+      (*self)(w + 1);
       return;
     }
     for (std::size_t idx : wave) {
       push(idx, spec, hook,
-           [this, state, remaining, run_wave, w](StatusOr<AgentTrace> r) {
+           [this, state, remaining, self, w](StatusOr<AgentTrace> r) {
              if (!r.ok() && state->error.ok()) state->error = r.status();
              if (r.ok()) {
                const sim::SimTime now = events_.Now();
@@ -325,7 +332,7 @@ void AgentController::RolloutImpl(
                state->last_commit = std::max(state->last_commit, now);
                ++state->nodes;
              }
-             if (--*remaining == 0) (*run_wave)(w + 1);
+             if (--*remaining == 0) (*self)(w + 1);
            });
     }
   };

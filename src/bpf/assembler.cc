@@ -77,8 +77,10 @@ std::optional<std::int64_t> ParseImm(const std::string& tok) {
   const bool neg = tok[0] == '-';
   if (neg) pos = 1;
   if (pos >= tok.size()) return std::nullopt;
-  std::int64_t value = 0;
-  int base = 10;
+  // Accumulate in unsigned arithmetic: immediates are allowed to wrap
+  // at 64 bits (tests rely on it), and signed overflow would be UB.
+  std::uint64_t value = 0;
+  std::uint64_t base = 10;
   if (tok.compare(pos, 2, "0x") == 0) {
     base = 16;
     pos += 2;
@@ -86,17 +88,18 @@ std::optional<std::int64_t> ParseImm(const std::string& tok) {
   for (; pos < tok.size(); ++pos) {
     const char c = static_cast<char>(
         std::tolower(static_cast<unsigned char>(tok[pos])));
-    int digit;
+    std::uint64_t digit;
     if (c >= '0' && c <= '9') {
-      digit = c - '0';
+      digit = static_cast<std::uint64_t>(c - '0');
     } else if (base == 16 && c >= 'a' && c <= 'f') {
-      digit = c - 'a' + 10;
+      digit = static_cast<std::uint64_t>(c - 'a' + 10);
     } else {
       return std::nullopt;
     }
     value = value * base + digit;
   }
-  return neg ? -value : value;
+  if (neg) value = 0 - value;
+  return static_cast<std::int64_t>(value);
 }
 
 std::optional<std::uint8_t> ParseSize(const std::string& tok) {

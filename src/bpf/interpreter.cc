@@ -20,7 +20,7 @@ StatusOr<ExecResult> Interpret(const std::vector<Insn>& insns,
       return Aborted("program counter ran off the end");
     }
     if (++result.insns_executed > opts.insn_limit) {
-      return Aborted("instruction limit exceeded");
+      return ResourceExhausted("instruction limit exceeded");
     }
     const Insn& insn = insns[pc];
     switch (insn.cls()) {

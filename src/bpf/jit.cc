@@ -351,7 +351,7 @@ StatusOr<ExecResult> RunJit(const JitImage& image, RuntimeContext& rt,
   while (true) {
     if (pc >= n) return Aborted("jit pc ran off the end");
     if (++result.insns_executed > opts.insn_limit) {
-      return Aborted("instruction limit exceeded");
+      return ResourceExhausted("instruction limit exceeded");
     }
     const MicroOp& op = image.code[pc];
     switch (op.kind) {

@@ -171,4 +171,45 @@ Program GenerateProgram(const ProgGenOptions& options) {
   return prog;
 }
 
+Program GenerateRogueProgram(const RogueGenOptions& options) {
+  if (options.kind == RogueKind::kTrapLoop) {
+    Program prog;
+    prog.name = "rogue_trap_s" + std::to_string(options.seed);
+    prog.type = ProgramType::kSocketFilter;
+    // 16-byte records, 8 slots — geometry is irrelevant; the output call
+    // never succeeds.
+    prog.maps.push_back(MapSpec{"rogue_ring", MapType::kRingBuf, 0, 16, 8});
+    std::vector<Insn>& out = prog.insns;
+    // Initialize one stack slot so the verifier proves r2 readable.
+    out.push_back(StoreMemImm(kSizeDw, kFrameReg, -8, 0));
+    auto [lo, hi] = LoadMapFd(1, 0);
+    out.push_back(lo);
+    out.push_back(hi);
+    out.push_back(MovReg(2, kFrameReg));
+    out.push_back(AluImm(kAluAdd, 2, -8));
+    // The poisoned pill: a 1 GiB "record length" the verifier cannot
+    // bound. Every execution fails the runtime bounds check and traps.
+    out.push_back(MovImm(3, 0x40000000));
+    out.push_back(MovImm(4, 0));
+    out.push_back(Call(kHelperRingbufOutput));
+    out.push_back(MovImm(0, 0));
+    out.push_back(Exit());
+    return prog;
+  }
+  // kFuelBurn / kScratchHog: legal straight-line work, sized to overrun
+  // the fuel budget (executed length == program length — no loops) or to
+  // bloat the deployed image.
+  ProgGenOptions gen;
+  gen.target_insns = options.target_insns;
+  gen.seed = options.seed;
+  gen.use_maps = false;
+  gen.branch_density = 0.0;  // branches would skip insns; burn them all
+  gen.helper_density = 0.0;
+  Program prog = GenerateProgram(gen);
+  prog.name = (options.kind == RogueKind::kFuelBurn ? "rogue_fuel_s"
+                                                    : "rogue_hog_s") +
+              std::to_string(options.seed);
+  return prog;
+}
+
 }  // namespace rdx::bpf

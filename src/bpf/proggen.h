@@ -31,4 +31,34 @@ Program GenerateProgram(const ProgGenOptions& options);
 inline constexpr std::size_t kPaperSweepSizes[] = {1'300, 11'000, 26'000,
                                                    49'000, 76'000, 95'000};
 
+// ---- adversarial generators (guardrail pressure) ----
+//
+// Rogue programs are *verifier-clean* — they pass every static check and
+// misbehave only at runtime, which is exactly the gap the runtime
+// guardrails exist to close (verification is necessary but not
+// sufficient, §5).
+enum class RogueKind {
+  // Traps on every execution: calls ringbuf_output with a huge dynamic
+  // length in r3. The verifier cannot bound a scalar register, so it
+  // only proves one readable stack byte at r2; at runtime the bounds
+  // check on the 1 GiB "record" fails and the program faults.
+  kTrapLoop,
+  // Burns the per-execution fuel budget: a straight-line program longer
+  // than the budget (the validator forbids loops, so length is fuel).
+  kFuelBurn,
+  // Eats remote scratchpad: an oversized but otherwise healthy program
+  // whose repeated redeployment exhausts the bump allocator.
+  kScratchHog,
+};
+
+struct RogueGenOptions {
+  RogueKind kind = RogueKind::kTrapLoop;
+  std::uint64_t seed = 1;
+  // kFuelBurn: executed straight-line length — pick it above the target
+  // sandbox's fuel_budget. kScratchHog: image-size driver.
+  std::size_t target_insns = 8192;
+};
+
+Program GenerateRogueProgram(const RogueGenOptions& options);
+
 }  // namespace rdx::bpf

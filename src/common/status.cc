@@ -11,6 +11,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kScratchExhausted: return "SCRATCH_EXHAUSTED";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
     case StatusCode::kAborted: return "ABORTED";
@@ -51,6 +52,9 @@ Status OutOfRange(std::string_view msg) {
 }
 Status ResourceExhausted(std::string_view msg) {
   return Make(StatusCode::kResourceExhausted, msg);
+}
+Status ScratchExhausted(std::string_view msg) {
+  return Make(StatusCode::kScratchExhausted, msg);
 }
 Status Unavailable(std::string_view msg) {
   return Make(StatusCode::kUnavailable, msg);

@@ -22,6 +22,10 @@ enum class StatusCode : std::uint8_t {
   kFailedPrecondition,
   kOutOfRange,
   kResourceExhausted,
+  // A remote sandbox's extension scratchpad bump allocator is out of
+  // space. Deterministic for a given sandbox state — callers must not
+  // retry (see core/reliability).
+  kScratchExhausted,
   kUnavailable,
   kPermissionDenied,
   kAborted,
@@ -65,6 +69,7 @@ Status AlreadyExists(std::string_view msg);
 Status FailedPrecondition(std::string_view msg);
 Status OutOfRange(std::string_view msg);
 Status ResourceExhausted(std::string_view msg);
+Status ScratchExhausted(std::string_view msg);
 Status Unavailable(std::string_view msg);
 Status PermissionDenied(std::string_view msg);
 Status Aborted(std::string_view msg);

@@ -68,22 +68,25 @@ void CollectiveCodeFlow::Broadcast(
             // Deploy missing XStates on this node, then link + prepare.
             auto deploy_next =
                 std::make_shared<std::function<void(std::size_t)>>();
+            std::weak_ptr<std::function<void(std::size_t)>> weak =
+                deploy_next;
             *deploy_next = [this, &flow, image, &prog, prog_copy, prepared,
-                            i, hook, done_i,
-                            deploy_next](std::size_t m) mutable {
+                            i, hook, done_i, weak](std::size_t m) mutable {
+              auto self = weak.lock();
+              if (!self) return;
               while (m < prog.maps.size() &&
                      flow.xstates().count(prog.maps[m].name) != 0) {
                 ++m;
               }
               if (m < prog.maps.size()) {
                 cp_.DeployXState(flow, prog.maps[m],
-                                 [deploy_next, m, done_i](
+                                 [self, m, done_i](
                                      StatusOr<std::uint64_t> addr) {
                                    if (!addr.ok()) {
                                      done_i(addr.status());
                                      return;
                                    }
-                                   (*deploy_next)(m + 1);
+                                   (*self)(m + 1);
                                  });
                 return;
               }
@@ -233,12 +236,16 @@ void CollectiveCodeFlow::CommitAll(
         // is what guarantees no request observes mixed logic.
         auto wait_visible =
             std::make_shared<std::function<void()>>();
+        std::weak_ptr<std::function<void()>> weak = wait_visible;
         *wait_visible = [this, barrier, hook, t0, prepare_done, first_commit,
-                         last_commit, prepared_shared, done, wait_visible] {
+                         last_commit, prepared_shared, done, weak] {
+          auto self = weak.lock();
+          if (!self) return;
           for (std::size_t i = 0; i < group_.size(); ++i) {
             if (group_[i]->sandbox->VisibleVersion(hook) !=
                 (*prepared_shared)[i].version) {
-              cp_.events().ScheduleAfter(sim::Micros(1), *wait_visible);
+              cp_.events().ScheduleAfter(sim::Micros(1),
+                                         [self] { (*self)(); });
               return;
             }
           }

@@ -179,6 +179,7 @@ void ControlPlane::Handshake(CodeFlow* flow,
     view.scratch_size = word(kCbScratchSize);
     view.symtab_addr = word(kCbSymtabAddr);
     view.symtab_len = word(kCbSymtabLen);
+    view.health_addr = word(kCbHealthAddr);
 
     // Reboot detection on re-handshake: if we had deployed state but the
     // remote scratch allocator is back at its base, the node lost its
@@ -321,6 +322,13 @@ bool ControlPlane::NodeHealthy(rdma::NodeId node,
 
 void ControlPlane::ValidateCode(const bpf::Program& prog, Done done) {
   const std::uint64_t fp = ProgramFingerprint(prog);
+  // Blacklist check comes before the verify cache: a quarantined program
+  // is refused even though it verified fine before (verification is
+  // necessary but not sufficient, §5).
+  if (IsBlacklisted(fp)) {
+    done(PermissionDenied("program fingerprint is quarantined"));
+    return;
+  }
   if (auto it = verify_cache_.find(fp); it != verify_cache_.end()) {
     ++cache_hits_;
     done(it->second ? OkStatus()
@@ -361,6 +369,10 @@ void ControlPlane::JitCompileCode(
 }
 
 void ControlPlane::ValidateWasm(const wasm::FilterModule& module, Done done) {
+  if (IsBlacklisted(WasmFingerprint(module))) {
+    done(PermissionDenied("filter fingerprint is quarantined"));
+    return;
+  }
   const Status verdict = wasm::ValidateFilter(module);
   cpu_.Submit(config_.cost.WasmValidateCycles(module.size()),
               [done = std::move(done), verdict] { done(verdict); });
@@ -479,7 +491,9 @@ void ControlPlane::RemoteAlloc(
     const std::uint64_t addr = wc.atomic_original;
     const ControlBlockView& view = flow.remote_view();
     if (addr + bytes > view.scratch_addr + view.scratch_size) {
-      done(ResourceExhausted("remote scratchpad exhausted"));
+      // Deterministic for a given sandbox state — non-retryable (the
+      // recovery layer aborts instead of backing off).
+      done(ScratchExhausted("remote scratchpad exhausted"));
       return;
     }
     done(addr);
@@ -1122,7 +1136,8 @@ void ControlPlane::XStateRingConsume(
 
 void ControlPlane::DeployImageBytes(CodeFlow& flow, Bytes image_bytes,
                                     int hook, std::uint64_t version,
-                                    Done done, InjectTrace* trace) {
+                                    Done done, InjectTrace* trace,
+                                    std::uint64_t fingerprint) {
   const sim::SimTime dispatch_start = events_.Now();
   events_.ScheduleAfter(config_.cost.rdx_dispatch_overhead, [this, &flow,
                                                              image_bytes =
@@ -1131,7 +1146,7 @@ void ControlPlane::DeployImageBytes(CodeFlow& flow, Bytes image_bytes,
                                                              hook, version,
                                                              done = std::move(
                                                                  done),
-                                                             trace,
+                                                             trace, fingerprint,
                                                              dispatch_start]() mutable {
     auto& deployment = flow.hooks_[hook];
     const sim::SimTime transfer_start = events_.Now();
@@ -1156,7 +1171,7 @@ void ControlPlane::DeployImageBytes(CodeFlow& flow, Bytes image_bytes,
       }
       WriteChunked(
           flow, std::move(desc), deployment.desc_addr,
-          [this, &flow, hook, image_addr, version,
+          [this, &flow, hook, image_addr, version, fingerprint,
            image_bytes = std::move(image_bytes), done = std::move(done),
            trace, transfer_start](Status s) mutable {
             if (!s.ok()) {
@@ -1165,13 +1180,15 @@ void ControlPlane::DeployImageBytes(CodeFlow& flow, Bytes image_bytes,
             }
             WriteChunked(
                 flow, std::move(image_bytes), image_addr,
-                [this, &flow, hook, version, done = std::move(done), trace,
+                [this, &flow, hook, version, fingerprint,
+                 done = std::move(done), trace,
                  transfer_start](Status s2) mutable {
                   if (!s2.ok()) {
                     done(s2);
                     return;
                   }
                   flow.hooks_[hook].version = version;
+                  flow.hooks_[hook].fingerprint = fingerprint;
                   if (trace != nullptr) {
                     trace->transfer = events_.Now() - transfer_start;
                   }
@@ -1214,18 +1231,21 @@ void ControlPlane::DeployImageBytes(CodeFlow& flow, Bytes image_bytes,
                                     }
                                     done(OkStatus());
                                   });
-                 });
+                 },
+                 fingerprint);
   });
   (void)dispatch_start;
 }
 
 void ControlPlane::PrepareImage(
     CodeFlow& flow, Bytes image_bytes, std::uint64_t version,
-    std::function<void(StatusOr<PreparedImage>)> done) {
+    std::function<void(StatusOr<PreparedImage>)> done,
+    std::uint64_t fingerprint) {
   const std::uint64_t image_len = image_bytes.size();
   const std::uint64_t region =
       AlignUp(image_len, kAllocAlign) + kImageDescBytes;
   RemoteAlloc(flow, region, [this, &flow, version, image_len, region,
+                             fingerprint,
                              image_bytes = std::move(image_bytes),
                              done = std::move(done)](
                                 StatusOr<std::uint64_t> addr) mutable {
@@ -1252,13 +1272,14 @@ void ControlPlane::PrepareImage(
 
     WriteChunked(flow, std::move(combined), image_addr,
                  [image_addr, image_len, region, desc_addr, version,
-                  done = std::move(done)](Status s) mutable {
+                  fingerprint, done = std::move(done)](Status s) mutable {
                    if (!s.ok()) {
                      done(s);
                      return;
                    }
                    done(PreparedImage{desc_addr, image_addr, image_len,
-                                      region - kImageDescBytes, version});
+                                      region - kImageDescBytes, version,
+                                      fingerprint});
                  });
   });
 }
@@ -1266,21 +1287,46 @@ void ControlPlane::PrepareImage(
 void ControlPlane::CommitPrepared(CodeFlow& flow, int hook,
                                   const PreparedImage& prepared, Done done) {
   CommitHook(flow, hook, prepared.desc_addr,
-             [&flow, hook, prepared, done = std::move(done)](Status s) {
+             [this, &flow, hook, prepared, done = std::move(done)](Status s) {
                if (!s.ok()) {
                  done(s);
                  return;
                }
                auto& deployment = flow.hooks_[hook];
                if (deployment.desc_addr != 0) {
-                 deployment.desc_history.push_back(deployment.desc_addr);
+                 deployment.desc_history.push_back(CodeFlow::PastImage{
+                     deployment.desc_addr,
+                     deployment.region_capacity + kImageDescBytes,
+                     deployment.fingerprint});
                }
                deployment.desc_addr = prepared.desc_addr;
                deployment.image_addr = prepared.image_addr;
                deployment.region_capacity = prepared.region_capacity;
                deployment.version = prepared.version;
+               deployment.fingerprint = prepared.fingerprint;
+               ReclaimSupersededImages(flow, hook);
                done(OkStatus());
              });
+}
+
+void ControlPlane::ReclaimSupersededImages(CodeFlow& flow, int hook) {
+  auto it = flow.hooks_.find(hook);
+  if (it == flow.hooks_.end()) return;
+  auto& history = it->second.desc_history;
+  while (history.size() > config_.hook_history_depth) {
+    const CodeFlow::PastImage past = history.front();
+    history.erase(history.begin());
+    // Drop the superseded desc's refcount over RDMA; the region is dead
+    // scratchpad from here on. Accounting lands on the sandbox's stats
+    // once the write completes (simulation-side backref).
+    Bytes zero(8, 0);
+    WriteChunked(flow, std::move(zero), past.desc_addr + kDescRefcount,
+                 [&flow, past](Status s) {
+                   if (s.ok() && flow.sandbox != nullptr) {
+                     flow.sandbox->AccountReclaim(past.region_bytes);
+                   }
+                 });
+  }
 }
 
 namespace {
@@ -1340,9 +1386,12 @@ void ControlPlane::InjectExtension(
       trace->jit = events_.Now() - t1;
       // Deploy any XStates the program declares but the node lacks.
       auto deploy_next = std::make_shared<std::function<void(std::size_t)>>();
+      std::weak_ptr<std::function<void(std::size_t)>> weak = deploy_next;
       const bpf::JitImage* img = image.value();
       *deploy_next = [this, &flow, img, prog, hook, done = std::move(done),
-                      trace, t0, deploy_next](std::size_t i) mutable {
+                      trace, t0, weak](std::size_t i) mutable {
+        auto self = weak.lock();
+        if (!self) return;
         const sim::SimTime tx0 = events_.Now();
         while (i < prog.maps.size() &&
                flow.xstate_addrs_.count(prog.maps[i].name) != 0) {
@@ -1350,20 +1399,21 @@ void ControlPlane::InjectExtension(
         }
         if (i < prog.maps.size()) {
           DeployXState(flow, prog.maps[i],
-                       [deploy_next, i, done, trace, tx0,
+                       [self, i, done, trace, tx0,
                         this](StatusOr<std::uint64_t> addr) mutable {
                          if (!addr.ok()) {
                            done(addr.status());
                            return;
                          }
                          trace->xstate += events_.Now() - tx0;
-                         (*deploy_next)(i + 1);
+                         (*self)(i + 1);
                        });
           return;
         }
         // Link, then deploy.
         const sim::SimTime t2 = events_.Now();
-        LinkCode(flow, *img, [this, &flow, hook, done = std::move(done),
+        const std::uint64_t fp = ProgramFingerprint(prog);
+        LinkCode(flow, *img, [this, &flow, hook, fp, done = std::move(done),
                               trace, t0, t2](
                                  StatusOr<bpf::JitImage> linked) mutable {
           if (!linked.ok()) {
@@ -1384,7 +1434,7 @@ void ControlPlane::InjectExtension(
                              trace->total = events_.Now() - t0;
                              done(*trace);
                            },
-                           trace.get());
+                           trace.get(), fp);
         });
       };
       (*deploy_next)(0);
@@ -1397,17 +1447,19 @@ void ControlPlane::InjectWasmFilter(
     std::function<void(StatusOr<InjectTrace>)> done) {
   auto trace = std::make_shared<InjectTrace>();
   const sim::SimTime t0 = events_.Now();
-  trace->compile_cache_hit = wasm_cache_.count(WasmFingerprint(module)) != 0;
+  const std::uint64_t fp = WasmFingerprint(module);
+  trace->compile_cache_hit = wasm_cache_.count(fp) != 0;
 
-  ValidateWasm(module, [this, &flow, module, hook, done = std::move(done),
-                        trace, t0](Status s) mutable {
+  ValidateWasm(module, [this, &flow, module, hook, fp,
+                        done = std::move(done), trace, t0](Status s) mutable {
     if (!s.ok()) {
       done(s);
       return;
     }
     trace->validate = events_.Now() - t0;
     const sim::SimTime t1 = events_.Now();
-    CompileWasm(module, [this, &flow, hook, done = std::move(done), trace, t0,
+    CompileWasm(module, [this, &flow, hook, fp, done = std::move(done), trace,
+                         t0,
                          t1](StatusOr<const wasm::WasmImage*> image) mutable {
       if (!image.ok()) {
         done(image.status());
@@ -1416,7 +1468,7 @@ void ControlPlane::InjectWasmFilter(
       trace->jit = events_.Now() - t1;
       const sim::SimTime t2 = events_.Now();
       LinkWasm(flow, *image.value(),
-               [this, &flow, hook, done = std::move(done), trace, t0,
+               [this, &flow, hook, fp, done = std::move(done), trace, t0,
                 t2](StatusOr<wasm::WasmImage> linked) mutable {
                  if (!linked.ok()) {
                    done(linked.status());
@@ -1436,7 +1488,7 @@ void ControlPlane::InjectWasmFilter(
                                     trace->total = events_.Now() - t0;
                                     done(*trace);
                                   },
-                                  trace.get());
+                                  trace.get(), fp);
                });
     });
   });
@@ -1448,17 +1500,18 @@ void ControlPlane::Rollback(CodeFlow& flow, int hook, Done done) {
     done(FailedPrecondition("no previous version to roll back to"));
     return;
   }
-  const std::uint64_t prev_desc = it->second.desc_history.back();
+  const CodeFlow::PastImage prev = it->second.desc_history.back();
   it->second.desc_history.pop_back();
-  CommitHook(flow, hook, prev_desc, [&flow, hook, prev_desc,
-                                     done = std::move(done),
-                                     this](Status s) mutable {
+  CommitHook(flow, hook, prev.desc_addr, [&flow, hook, prev,
+                                          done = std::move(done),
+                                          this](Status s) mutable {
     if (!s.ok()) {
       done(s);
       return;
     }
     auto& deployment = flow.hooks_[hook];
-    deployment.desc_addr = prev_desc;
+    deployment.desc_addr = prev.desc_addr;
+    deployment.fingerprint = prev.fingerprint;
     // Recover the rolled-back version for introspection.
     deployment.version = flow.sandbox->CommittedVersion(hook);
     done(OkStatus());
@@ -1470,6 +1523,196 @@ void ControlPlane::Detach(CodeFlow& flow, int hook, Done done) {
     if (s.ok()) flow.hooks_.erase(hook);
     done(s);
   });
+}
+
+// ---- runtime guardrails --------------------------------------------------
+
+void ControlPlane::BlacklistFingerprint(std::uint64_t fingerprint) {
+  if (fingerprint != 0) blacklist_.insert(fingerprint);
+}
+
+bool ControlPlane::IsBlacklisted(std::uint64_t fingerprint) const {
+  return fingerprint != 0 && blacklist_.count(fingerprint) != 0;
+}
+
+namespace {
+HealthView ParseHealthBlock(const Bytes& raw, std::size_t off) {
+  HealthView hv;
+  hv.executions = LoadLE<std::uint64_t>(raw.data() + off + kHbExecutions);
+  hv.traps = LoadLE<std::uint64_t>(raw.data() + off + kHbTraps);
+  hv.fuel_exhaustions =
+      LoadLE<std::uint64_t>(raw.data() + off + kHbFuelExhaustions);
+  hv.consecutive_failures =
+      LoadLE<std::uint64_t>(raw.data() + off + kHbConsecutiveFailures);
+  hv.last_good_desc =
+      LoadLE<std::uint64_t>(raw.data() + off + kHbLastGoodDesc);
+  hv.failsafe_detaches =
+      LoadLE<std::uint64_t>(raw.data() + off + kHbFailsafeDetaches);
+  return hv;
+}
+}  // namespace
+
+void ControlPlane::ReadHealth(
+    CodeFlow& flow, int hook,
+    std::function<void(StatusOr<HealthView>)> done) {
+  if (flow.remote_view_.health_addr == 0) {
+    done(FailedPrecondition("remote sandbox publishes no health blocks"));
+    return;
+  }
+  auto buf = LocalScratch(kHealthBlockBytes);
+  if (!buf.ok()) {
+    done(buf.status());
+    return;
+  }
+  rdma::SendWr read;
+  read.opcode = rdma::Opcode::kRead;
+  read.local = {buf.value(), static_cast<std::uint32_t>(kHealthBlockBytes),
+                local_mr_.lkey};
+  read.remote_addr = flow.remote_view_.health_addr +
+                     static_cast<std::uint64_t>(hook) * kHealthBlockBytes;
+  read.rkey = flow.rkey;
+  Post(flow, read, [this, buf = buf.value(), done = std::move(done)](
+                       const rdma::WorkCompletion& wc) mutable {
+    if (wc.status != rdma::WcStatus::kSuccess) {
+      done(Unavailable("health block read failed"));
+      return;
+    }
+    Bytes raw(kHealthBlockBytes);
+    (void)fabric_.node(self_).memory().Read(buf, raw);
+    done(ParseHealthBlock(raw, 0));
+  });
+}
+
+void ControlPlane::ReadHealthAll(
+    CodeFlow& flow,
+    std::function<void(StatusOr<std::vector<HealthView>>)> done) {
+  if (flow.remote_view_.health_addr == 0) {
+    done(FailedPrecondition("remote sandbox publishes no health blocks"));
+    return;
+  }
+  const std::uint64_t count = flow.remote_view_.hook_count;
+  const std::uint64_t total = count * kHealthBlockBytes;
+  auto buf = LocalScratch(total);
+  if (!buf.ok()) {
+    done(buf.status());
+    return;
+  }
+  rdma::SendWr read;
+  read.opcode = rdma::Opcode::kRead;
+  read.local = {buf.value(), static_cast<std::uint32_t>(total),
+                local_mr_.lkey};
+  read.remote_addr = flow.remote_view_.health_addr;
+  read.rkey = flow.rkey;
+  Post(flow, read, [this, buf = buf.value(), count, total,
+                    done = std::move(done)](
+                       const rdma::WorkCompletion& wc) mutable {
+    if (wc.status != rdma::WcStatus::kSuccess) {
+      done(Unavailable("health array read failed"));
+      return;
+    }
+    Bytes raw(total);
+    (void)fabric_.node(self_).memory().Read(buf, raw);
+    std::vector<HealthView> views;
+    views.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      views.push_back(ParseHealthBlock(raw, i * kHealthBlockBytes));
+    }
+    done(std::move(views));
+  });
+}
+
+void ControlPlane::QuarantineHook(CodeFlow& flow, int hook,
+                                  std::uint64_t bad_desc,
+                                  std::uint64_t good_desc, Done done) {
+  auto landing = LocalScratch(8);
+  if (!landing.ok()) {
+    done(landing.status());
+    return;
+  }
+  // CAS, not a blind write: if the data-plane fail-safe (or another
+  // controller) already swung the slot, we must not clobber its choice.
+  rdma::SendWr cas;
+  cas.opcode = rdma::Opcode::kCompareSwap;
+  cas.local = {landing.value(), 8, local_mr_.lkey};
+  cas.remote_addr = flow.remote_view_.hook_table_addr +
+                    static_cast<std::uint64_t>(hook) * 8;
+  cas.rkey = flow.rkey;
+  cas.compare_add = bad_desc;
+  cas.swap = good_desc;
+  Post(flow, cas, [this, &flow, hook, bad_desc, good_desc,
+                   done = std::move(done)](
+                      const rdma::WorkCompletion& wc) mutable {
+    if (wc.status != rdma::WcStatus::kSuccess) {
+      done(Unavailable("quarantine CAS failed"));
+      return;
+    }
+    const std::uint64_t original = wc.atomic_original;
+    const bool swung = original == bad_desc;
+    // original == good_desc or 0: the local fail-safe beat us to the
+    // revert — the bad image is already off the execution path, so carry
+    // on with the epoch bump + blacklist.
+    if (!swung && original != good_desc && original != 0) {
+      done(Aborted("hook slot changed under quarantine CAS"));
+      return;
+    }
+    FinishQuarantine(flow, hook, bad_desc, good_desc, std::move(done));
+  });
+}
+
+void ControlPlane::FinishQuarantine(CodeFlow& flow, int hook,
+                                    std::uint64_t bad_desc,
+                                    std::uint64_t good_desc, Done done) {
+  ++quarantines_;
+  auto it = flow.hooks_.find(hook);
+  if (it != flow.hooks_.end()) {
+    // Refuse future redeploys of whatever source program produced the
+    // bad image.
+    if (it->second.desc_addr == bad_desc) {
+      BlacklistFingerprint(it->second.fingerprint);
+    }
+    // Repair bookkeeping: the surviving image is current again; drop it
+    // from the history so a later Rollback does not revisit it.
+    it->second.desc_addr = good_desc;
+    auto& history = it->second.desc_history;
+    for (auto h = history.rbegin(); h != history.rend(); ++h) {
+      if (h->desc_addr == good_desc) {
+        it->second.fingerprint = h->fingerprint;
+        history.erase(std::next(h).base());
+        break;
+      }
+    }
+    if (good_desc == 0) it->second.fingerprint = 0;
+  }
+  ++flow.epoch_;
+  // Remote epoch bump (fire and forget, like CommitHook's).
+  auto landing = LocalScratch(8);
+  if (landing.ok()) {
+    rdma::SendWr faa;
+    faa.opcode = rdma::Opcode::kFetchAdd;
+    faa.local = {landing.value(), 8, local_mr_.lkey};
+    faa.remote_addr = flow.remote_view_.cb_addr + kCbEpoch;
+    faa.rkey = flow.rkey;
+    faa.compare_add = 1;
+    Post(flow, faa, [](const rdma::WorkCompletion&) {});
+  }
+  auto finish = [this, &flow, hook, done = std::move(done)](Status s) mutable {
+    if (!s.ok()) {
+      done(s);
+      return;
+    }
+    auto it2 = flow.hooks_.find(hook);
+    if (it2 != flow.hooks_.end()) {
+      it2->second.version = flow.sandbox->CommittedVersion(hook);
+    }
+    done(OkStatus());
+  };
+  if (config_.use_cc_event) {
+    CcEvent(flow, hook, std::move(finish));
+  } else {
+    flow.sandbox->ScheduleHookRefresh(
+        hook, flow.sandbox->VisibilityDelay(/*coherent_flush=*/false));
+    finish(OkStatus());
+  }
 }
 
 }  // namespace rdx::core

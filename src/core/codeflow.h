@@ -30,6 +30,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "bpf/jit.h"
@@ -56,6 +57,10 @@ struct ControlPlaneConfig {
   std::uint32_t chunk_bytes = 256 * 1024;
   // Keyed MAC written into each ImageDesc (integrity, §5). 0 disables.
   std::uint64_t signing_key = 0;
+  // How many superseded ImageDescs to keep per hook as rollback targets.
+  // Older regions are reclaimed on commit: refcount dropped to 0 over
+  // RDMA and the freed bytes accounted in SandboxStats.
+  std::uint32_t hook_history_depth = 8;
 };
 
 // Phase timings of one full injection, for the Fig 4b breakdown.
@@ -96,6 +101,7 @@ class CodeFlow {
   friend class CollectiveCodeFlow;
   friend class Inspector;
   friend class RecoveryManager;
+  friend class HealthMonitor;
   rdma::NodeId node_ = rdma::kInvalidNode;
   Sandbox* sandbox = nullptr;  // simulation-side backref for visibility
   rdma::QueuePair* qp = nullptr;
@@ -105,14 +111,24 @@ class CodeFlow {
   std::unordered_map<std::uint64_t, std::uint64_t> symbols_;
   std::unordered_map<std::string, std::uint64_t> xstate_addrs_;
   // Per-hook deployment bookkeeping.
+  struct PastImage {
+    std::uint64_t desc_addr = 0;
+    // Scratchpad bytes the superseded region occupies (image + desc),
+    // accounted when the control plane reclaims it.
+    std::uint64_t region_bytes = 0;
+    // Source-program fingerprint the image was built from (0 = unknown).
+    std::uint64_t fingerprint = 0;
+  };
   struct HookDeployment {
     std::uint64_t desc_addr = 0;
     std::uint64_t image_addr = 0;
     std::uint64_t region_capacity = 0;
     std::uint64_t version = 0;
+    std::uint64_t fingerprint = 0;
     // Version history for rollback (desc addresses stay valid in the
-    // scratchpad until torn down).
-    std::vector<std::uint64_t> desc_history;
+    // scratchpad until reclaimed; only the newest hook_history_depth
+    // entries are kept).
+    std::vector<PastImage> desc_history;
   };
   std::unordered_map<int, HookDeployment> hooks_;
   std::uint32_t next_meta_slot_ = 0;
@@ -234,9 +250,12 @@ class ControlPlane {
     std::uint64_t image_len = 0;
     std::uint64_t region_capacity = 0;
     std::uint64_t version = 0;
+    // Source-program fingerprint (0 when deployed from raw image bytes).
+    std::uint64_t fingerprint = 0;
   };
   void PrepareImage(CodeFlow& flow, Bytes image_bytes, std::uint64_t version,
-                    std::function<void(StatusOr<PreparedImage>)> done);
+                    std::function<void(StatusOr<PreparedImage>)> done,
+                    std::uint64_t fingerprint = 0);
   // Phase 2: atomically swing the hook slot to the prepared desc.
   void CommitPrepared(CodeFlow& flow, int hook, const PreparedImage& prepared,
                       Done done);
@@ -254,6 +273,26 @@ class ControlPlane {
   void Rollback(CodeFlow& flow, int hook, Done done);
   // Detach: commit 0 into the hook slot.
   void Detach(CodeFlow& flow, int hook, Done done);
+
+  // ---- runtime guardrails (agentless health + quarantine) ----
+  // One-sided READ of one hook's HealthBlock — zero data-plane cycles.
+  void ReadHealth(CodeFlow& flow, int hook,
+                  std::function<void(StatusOr<HealthView>)> done);
+  // One READ covering every hook's HealthBlock on the node.
+  void ReadHealthAll(CodeFlow& flow,
+                     std::function<void(StatusOr<std::vector<HealthView>>)>
+                         done);
+  // Remote quarantine of a misbehaving extension: CAS the hook slot from
+  // `bad_desc` back to `good_desc` (the last-good image, 0 = detach),
+  // bump the epoch, flush the data-plane CPU's view, and blacklist the
+  // bad image's source fingerprint so redeploys are refused at
+  // ValidateCode time. If the slot already moved off `bad_desc` (the
+  // local fail-safe won the race) the quarantine is treated as contained.
+  void QuarantineHook(CodeFlow& flow, int hook, std::uint64_t bad_desc,
+                      std::uint64_t good_desc, Done done);
+  void BlacklistFingerprint(std::uint64_t fingerprint);
+  bool IsBlacklisted(std::uint64_t fingerprint) const;
+  std::uint64_t quarantines() const { return quarantines_; }
 
   // ---- accessors ----
   sim::EventQueue& events() { return events_; }
@@ -292,7 +331,14 @@ class ControlPlane {
 
   void DeployImageBytes(CodeFlow& flow, Bytes image_bytes, int hook,
                         std::uint64_t version, Done done,
-                        InjectTrace* trace);
+                        InjectTrace* trace, std::uint64_t fingerprint = 0);
+  // Drops superseded history entries beyond hook_history_depth: zeroes
+  // the old desc's refcount over RDMA and accounts the freed bytes.
+  void ReclaimSupersededImages(CodeFlow& flow, int hook);
+  // Tail of QuarantineHook once the slot is known contained: epoch bump,
+  // flush, blacklist + bookkeeping repair.
+  void FinishQuarantine(CodeFlow& flow, int hook, std::uint64_t bad_desc,
+                        std::uint64_t good_desc, Done done);
 
   sim::EventQueue& events_;
   rdma::Fabric& fabric_;
@@ -315,6 +361,11 @@ class ControlPlane {
   std::unordered_map<std::uint64_t, bool> verify_cache_;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
+
+  // Quarantined source-program fingerprints; checked before the verify
+  // cache so a blacklisted program is refused even if it verified before.
+  std::unordered_set<std::uint64_t> blacklist_;
+  std::uint64_t quarantines_ = 0;
 };
 
 // Fingerprint of a source program (pre-JIT), used for the verify/compile

@@ -18,6 +18,21 @@
 //     +0x50 symtab_addr      serialized symbol table (the exposed GOT)
 //     +0x58 symtab_len
 //     +0x60 doorbell         rdx_cc_event flush-trigger word
+//     +0x68 health_addr      -> HealthBlock[hook_count] runtime guardrails
+//
+//   HealthBlock (one per hook, 64-aligned array; the data-plane CPU
+//   updates these words on every execution, the control plane reads them
+//   one-sided to detect misbehaving extensions with zero data-plane
+//   involvement):
+//     +0x00 executions            attempts on a non-empty hook
+//     +0x08 traps                 runtime faults (bad access, helper trap)
+//     +0x10 fuel_exhaustions      instruction/step budget overruns
+//     +0x18 consecutive_failures  reset to 0 on every success
+//     +0x20 last_good_desc        ImageDesc of the last image that
+//                                 completed an execution successfully
+//     +0x28 failsafe_detaches     times the local fail-safe reverted the
+//                                 hook to last_good_desc (K consecutive
+//                                 failures)
 //
 //   ImageDesc (16-aligned, in the scratchpad):
 //     +0x00 image_addr   +0x08 image_len
@@ -51,7 +66,29 @@ constexpr std::uint64_t kCbSymtabAddr = 0x50;
 constexpr std::uint64_t kCbSymtabLen = 0x58;
 // Doorbell word targeted by rdx_cc_event's injected flush trigger.
 constexpr std::uint64_t kCbDoorbell = 0x60;
-constexpr std::uint64_t kControlBlockBytes = 0x68;
+constexpr std::uint64_t kCbHealthAddr = 0x68;
+constexpr std::uint64_t kControlBlockBytes = 0x70;
+
+// HealthBlock field offsets (one block per hook at
+// health_addr + hook * kHealthBlockBytes).
+constexpr std::uint64_t kHbExecutions = 0x00;
+constexpr std::uint64_t kHbTraps = 0x08;
+constexpr std::uint64_t kHbFuelExhaustions = 0x10;
+constexpr std::uint64_t kHbConsecutiveFailures = 0x18;
+constexpr std::uint64_t kHbLastGoodDesc = 0x20;
+constexpr std::uint64_t kHbFailsafeDetaches = 0x28;
+constexpr std::uint64_t kHealthBlockBytes = 0x30;
+
+// CPU-side (and control-plane-side, after an RDMA read) view of one
+// hook's HealthBlock.
+struct HealthView {
+  std::uint64_t executions = 0;
+  std::uint64_t traps = 0;
+  std::uint64_t fuel_exhaustions = 0;
+  std::uint64_t consecutive_failures = 0;
+  std::uint64_t last_good_desc = 0;
+  std::uint64_t failsafe_detaches = 0;
+};
 
 // ImageDesc field offsets.
 constexpr std::uint64_t kDescImageAddr = 0x00;
@@ -76,6 +113,7 @@ struct ControlBlockView {
   std::uint64_t scratch_size = 0;
   std::uint64_t symtab_addr = 0;
   std::uint64_t symtab_len = 0;
+  std::uint64_t health_addr = 0;
 };
 
 // Symbol naming scheme shared by both ends. Helpers are exported as

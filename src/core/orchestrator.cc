@@ -370,18 +370,21 @@ void Orchestrator::RunAction(
       // first failure; skip/rollback walk the whole group so the policy
       // sees the full picture.
       auto roll = std::make_shared<std::function<void(std::size_t)>>();
+      std::weak_ptr<std::function<void(std::size_t)>> weak = roll;
       *roll = [this, targets, &decl, &action, succeeded, failed, settle,
-               roll](std::size_t i) mutable {
+               weak](std::size_t i) mutable {
+        auto self = weak.lock();
+        if (!self) return;
         if (i >= targets.size()) {
           settle(OkStatus());
           return;
         }
         DeployOne(decl, action, targets[i],
-                  [i, targets, succeeded, failed, settle, roll,
+                  [i, targets, succeeded, failed, settle, self,
                    &action](Status s) mutable {
                     if (s.ok()) {
                       succeeded->push_back(targets[i]);
-                      (*roll)(i + 1);
+                      (*self)(i + 1);
                       return;
                     }
                     ++*failed;
@@ -389,7 +392,7 @@ void Orchestrator::RunAction(
                       settle(s);
                       return;
                     }
-                    (*roll)(i + 1);
+                    (*self)(i + 1);
                   });
       };
       (*roll)(0);

@@ -106,6 +106,19 @@ void RecoveryManager::RunAttempt(std::shared_ptr<AttemptState> st) {
 void RecoveryManager::HandleFailure(std::shared_ptr<AttemptState> st,
                                     Status s) {
   if (st->finished) return;
+  // Deterministic failures do not heal with time: a quarantined program
+  // (kPermissionDenied), a malformed one (kInvalidArgument), or an
+  // exhausted remote scratchpad (kScratchExhausted) would fail forever.
+  // Abort immediately instead of burning the backoff schedule.
+  if (s.code() == StatusCode::kScratchExhausted ||
+      s.code() == StatusCode::kPermissionDenied ||
+      s.code() == StatusCode::kInvalidArgument) {
+    st->finished = true;
+    RDX_DEBUG("recovery: hook %d on node %u non-retryable failure: %s",
+              st->hook, st->flow->node(), s.message().c_str());
+    st->done(std::move(s));
+    return;
+  }
   if (st->attempts > st->max_retries) {
     st->finished = true;
     RDX_DEBUG("recovery: hook %d on node %u gave up after %d attempts: %s",
@@ -129,7 +142,9 @@ void RecoveryManager::HandleFailure(std::shared_ptr<AttemptState> st,
           probe.value().version == st->target_version) {
         auto& dep = st->flow->hooks_[st->hook];
         if (dep.desc_addr != 0 && dep.desc_addr != probe.value().desc_addr) {
-          dep.desc_history.push_back(dep.desc_addr);
+          dep.desc_history.push_back(CodeFlow::PastImage{
+              dep.desc_addr, dep.region_capacity + kImageDescBytes,
+              dep.fingerprint});
         }
         dep.desc_addr = probe.value().desc_addr;
         // The image region behind the adopted desc is unknown; force the
@@ -199,6 +214,152 @@ sim::Duration RecoveryManager::BackoffDelay(int attempt) {
   // Deterministic jitter: scale by [1-j, 1+j) from the seeded stream.
   delay *= 1.0 + policy_.jitter * (2.0 * rng_.NextDouble() - 1.0);
   return static_cast<sim::Duration>(std::max(delay, 1.0));
+}
+
+// ---- HealthMonitor -------------------------------------------------------
+
+void HealthMonitor::Watch(CodeFlow& flow) {
+  WatchedFlow wf;
+  wf.flow = &flow;
+  wf.snapshots.assign(flow.remote_view().hook_count, HookSnapshot{});
+  watched_.push_back(std::move(wf));
+}
+
+void HealthMonitor::Start() {
+  if (running_) return;
+  running_ = true;
+  // The closure self-references through a weak_ptr; pending events and
+  // continuations hold the strong ref, so the loop frees itself on Stop.
+  auto tick = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak = tick;
+  *tick = [this, weak] {
+    auto self = weak.lock();
+    if (!running_ || !self) return;
+    PollNow([this, self] {
+      if (!running_) return;
+      next_tick_ =
+          cp_.events().ScheduleAfter(policy_.poll_period, [self] { (*self)(); });
+    });
+  };
+  next_tick_ =
+      cp_.events().ScheduleAfter(policy_.poll_period, [tick] { (*tick)(); });
+}
+
+void HealthMonitor::Stop() {
+  if (!running_) return;
+  running_ = false;
+  cp_.events().Cancel(next_tick_);
+}
+
+void HealthMonitor::PollNow(std::function<void()> done) {
+  ++polls_;
+  auto finish = std::make_shared<std::function<void()>>(
+      done ? std::move(done) : std::function<void()>([] {}));
+  if (watched_.empty()) {
+    (*finish)();
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(watched_.size());
+  for (WatchedFlow& wf : watched_) {
+    PollFlow(wf, [remaining, finish] {
+      if (--*remaining == 0) (*finish)();
+    });
+  }
+}
+
+void HealthMonitor::PollFlow(WatchedFlow& wf, std::function<void()> done) {
+  cp_.ReadHealthAll(
+      *wf.flow,
+      [this, &wf, done = std::move(done)](
+          StatusOr<std::vector<HealthView>> views) mutable {
+        if (!views.ok()) {
+          // Unreachable node — liveness is the lease layer's problem,
+          // not the guardrail monitor's.
+          done();
+          return;
+        }
+        if (wf.snapshots.size() < views->size()) {
+          wf.snapshots.resize(views->size());
+        }
+        if (views->empty()) {
+          done();
+          return;
+        }
+        auto remaining = std::make_shared<std::size_t>(views->size());
+        auto finish = std::make_shared<std::function<void()>>(std::move(done));
+        for (std::size_t i = 0; i < views->size(); ++i) {
+          Inspect(wf, static_cast<int>(i), (*views)[i], [remaining, finish] {
+            if (--*remaining == 0) (*finish)();
+          });
+        }
+      });
+}
+
+void HealthMonitor::Inspect(WatchedFlow& wf, int hook, const HealthView& now,
+                            std::function<void()> done) {
+  HookSnapshot& snap = wf.snapshots[hook];
+  const HealthView last = snap.last;
+  snap.last = now;
+  const std::uint64_t d_traps = now.traps - last.traps;
+  const std::uint64_t d_fuel = now.fuel_exhaustions - last.fuel_exhaustions;
+  const std::uint64_t d_failsafe =
+      now.failsafe_detaches - last.failsafe_detaches;
+  // The consecutive counter alone is not evidence: it can sit stale above
+  // the threshold after a quarantine already fixed the hook. Require
+  // failure *progress* within this poll interval.
+  const bool fresh_failures = d_traps > 0 || d_fuel > 0;
+
+  std::string reason;
+  if (d_failsafe > 0) {
+    reason = "local fail-safe fired";
+  } else if (fresh_failures &&
+             now.consecutive_failures >= policy_.consecutive_threshold) {
+    reason = "crash-loop";
+  } else if (d_traps >= policy_.trap_delta_threshold) {
+    reason = "trap storm";
+  } else if (d_fuel >= policy_.fuel_delta_threshold) {
+    reason = "fuel exhaustion storm";
+  }
+  if (reason.empty() || snap.quarantine_inflight) {
+    done();
+    return;
+  }
+
+  auto it = wf.flow->hooks_.find(hook);
+  const std::uint64_t bad_desc =
+      it == wf.flow->hooks_.end() ? 0 : it->second.desc_addr;
+  if (bad_desc == 0) {
+    // Nothing this control plane deployed there — record only.
+    records_.push_back(QuarantineRecord{wf.flow->node(), hook, reason, 0, 0,
+                                        false, cp_.events().Now()});
+    done();
+    return;
+  }
+  // Revert target: the last image that ever completed on this hook. If
+  // the misbehaving image IS that image, detach outright.
+  const std::uint64_t good_desc =
+      now.last_good_desc == bad_desc ? 0 : now.last_good_desc;
+
+  QuarantineRecord rec{wf.flow->node(), hook,     reason, bad_desc,
+                       good_desc,       false, cp_.events().Now()};
+  if (!policy_.auto_quarantine) {
+    records_.push_back(std::move(rec));
+    done();
+    return;
+  }
+  snap.quarantine_inflight = true;
+  RDX_DEBUG("guardrail: node %u hook %d %s -> quarantine (bad=%llx good=%llx)",
+            wf.flow->node(), hook, reason.c_str(),
+            (unsigned long long)bad_desc, (unsigned long long)good_desc);
+  cp_.QuarantineHook(
+      *wf.flow, hook, bad_desc, good_desc,
+      [this, &wf, hook, rec = std::move(rec),
+       done = std::move(done)](Status s) mutable {
+        wf.snapshots[hook].quarantine_inflight = false;
+        rec.quarantined = s.ok();
+        records_.push_back(std::move(rec));
+        done();
+      });
 }
 
 }  // namespace rdx::core

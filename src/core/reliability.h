@@ -18,6 +18,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/codeflow.h"
@@ -83,6 +86,79 @@ class RecoveryManager {
   ControlPlane& cp_;
   RetryPolicy policy_;
   Rng rng_;
+};
+
+// Detection thresholds for the agentless guardrail monitor. Deltas are
+// per poll interval (between consecutive HealthBlock snapshots).
+struct GuardrailPolicy {
+  sim::Duration poll_period = sim::Millis(1);
+  // A hook whose consecutive_failures reaches this is crash-looping.
+  std::uint64_t consecutive_threshold = 4;
+  // Trap / fuel-exhaustion deltas per poll that flag a hook even when
+  // occasional successes keep resetting the consecutive counter.
+  std::uint64_t trap_delta_threshold = 8;
+  std::uint64_t fuel_delta_threshold = 8;
+  // Quarantine on detection (CAS to last-good + blacklist). When false
+  // the monitor only records detections (observe-only mode).
+  bool auto_quarantine = true;
+};
+
+// One detection → quarantine decision, for tests and telemetry.
+struct QuarantineRecord {
+  rdma::NodeId node = rdma::kInvalidNode;
+  int hook = 0;
+  std::string reason;
+  std::uint64_t bad_desc = 0;
+  std::uint64_t good_desc = 0;
+  bool quarantined = false;  // false = already contained locally / observe
+  sim::SimTime at = 0;
+};
+
+// Agentless health monitor (§5 guardrails): periodically one-sided-READs
+// every watched sandbox's HealthBlock array, diffs against the previous
+// snapshot, and quarantines misbehaving extensions purely over RDMA —
+// the data-plane CPU never runs a byte of monitoring code.
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(ControlPlane& cp, GuardrailPolicy policy = {})
+      : cp_(cp), policy_(policy) {}
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  void Watch(CodeFlow& flow);
+  // Periodic polling on the event queue (Stop cancels the next tick).
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+  // One synchronous-ish sweep over every watched flow; `done` fires when
+  // all health reads (and any resulting quarantines) completed. Gives
+  // tests a deterministic poll point.
+  void PollNow(std::function<void()> done = {});
+
+  const std::vector<QuarantineRecord>& records() const { return records_; }
+  std::uint64_t polls() const { return polls_; }
+  const GuardrailPolicy& policy() const { return policy_; }
+
+ private:
+  struct HookSnapshot {
+    HealthView last;
+    bool quarantine_inflight = false;
+  };
+  struct WatchedFlow {
+    CodeFlow* flow = nullptr;
+    std::vector<HookSnapshot> snapshots;
+  };
+  void PollFlow(WatchedFlow& wf, std::function<void()> done);
+  void Inspect(WatchedFlow& wf, int hook, const HealthView& now,
+               std::function<void()> done);
+
+  ControlPlane& cp_;
+  GuardrailPolicy policy_;
+  std::vector<WatchedFlow> watched_;
+  std::vector<QuarantineRecord> records_;
+  std::uint64_t polls_ = 0;
+  bool running_ = false;
+  sim::EventQueue::EventId next_tick_ = 0;
 };
 
 }  // namespace rdx::core

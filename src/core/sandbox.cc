@@ -91,6 +91,13 @@ Status Sandbox::CtxInit() {
   RDX_ASSIGN_OR_RETURN(ctx_buf_addr_, mem.Allocate(256, 64));
   RDX_ASSIGN_OR_RETURN(stack_addr_, mem.Allocate(bpf::kStackSize, 64));
 
+  // HealthBlock array sits before the scratchpad so it lands inside the
+  // RDMA-registered span (control plane reads it one-sided) and is wiped
+  // by Crash() together with everything else.
+  RDX_ASSIGN_OR_RETURN(
+      view_.health_addr,
+      mem.Allocate(config_.hook_count * kHealthBlockBytes, 64));
+
   RDX_ASSIGN_OR_RETURN(view_.scratch_addr,
                        mem.Allocate(config_.scratch_bytes, 4096));
   view_.scratch_size = config_.scratch_bytes;
@@ -125,7 +132,100 @@ Status Sandbox::PublishControlBlock() {
   RDX_RETURN_IF_ERROR(WriteWord(view_.cb_addr + kCbSymtabLen,
                                 view_.symtab_len));
   RDX_RETURN_IF_ERROR(WriteWord(view_.cb_addr + kCbDoorbell, 0));
+  RDX_RETURN_IF_ERROR(WriteWord(view_.cb_addr + kCbHealthAddr,
+                                view_.health_addr));
+  // Fresh boot (or reboot) starts with clean health counters.
+  Bytes health_zeros(view_.hook_count * kHealthBlockBytes, 0);
+  RDX_RETURN_IF_ERROR(node_.memory().Write(view_.health_addr, health_zeros));
   return OkStatus();
+}
+
+std::uint64_t Sandbox::HealthWordAddr(int hook, std::uint64_t field) const {
+  return view_.health_addr +
+         static_cast<std::uint64_t>(hook) * kHealthBlockBytes + field;
+}
+
+StatusOr<std::uint64_t> Sandbox::GetHealth(int hook,
+                                           std::uint64_t field) const {
+  return ReadWord(HealthWordAddr(hook, field));
+}
+
+void Sandbox::BumpHealth(int hook, std::uint64_t field, std::uint64_t delta) {
+  const auto current = ReadWord(HealthWordAddr(hook, field));
+  if (!current.ok()) return;
+  (void)WriteWord(HealthWordAddr(hook, field), current.value() + delta);
+}
+
+void Sandbox::SetHealth(int hook, std::uint64_t field, std::uint64_t value) {
+  (void)WriteWord(HealthWordAddr(hook, field), value);
+}
+
+HealthView Sandbox::ReadLocalHealth(int hook) const {
+  HealthView hv;
+  if (view_.health_addr == 0) return hv;
+  auto word = [&](std::uint64_t field) {
+    const auto w = GetHealth(hook, field);
+    return w.ok() ? w.value() : 0ull;
+  };
+  hv.executions = word(kHbExecutions);
+  hv.traps = word(kHbTraps);
+  hv.fuel_exhaustions = word(kHbFuelExhaustions);
+  hv.consecutive_failures = word(kHbConsecutiveFailures);
+  hv.last_good_desc = word(kHbLastGoodDesc);
+  hv.failsafe_detaches = word(kHbFailsafeDetaches);
+  return hv;
+}
+
+void Sandbox::AccountReclaim(std::uint64_t bytes) {
+  ++stats_.images_reclaimed;
+  stats_.scratch_bytes_reclaimed += bytes;
+}
+
+void Sandbox::RecordHookOutcome(int hook, const Status& outcome) {
+  if (!config_.guardrails || view_.health_addr == 0) return;
+  HookState& state = hooks_[hook];
+  BumpHealth(hook, kHbExecutions, 1);
+  if (outcome.ok()) {
+    const auto consecutive = GetHealth(hook, kHbConsecutiveFailures);
+    if (consecutive.ok() && consecutive.value() != 0) {
+      SetHealth(hook, kHbConsecutiveFailures, 0);
+    }
+    const auto last_good = GetHealth(hook, kHbLastGoodDesc);
+    if (last_good.ok() && last_good.value() != state.visible_desc_addr) {
+      SetHealth(hook, kHbLastGoodDesc, state.visible_desc_addr);
+    }
+    return;
+  }
+  // Fuel overruns come back as kResourceExhausted from the engines; every
+  // other runtime failure is a trap.
+  if (outcome.code() == StatusCode::kResourceExhausted) {
+    ++stats_.fuel_exhaustions;
+    BumpHealth(hook, kHbFuelExhaustions, 1);
+  } else {
+    ++stats_.traps;
+    BumpHealth(hook, kHbTraps, 1);
+  }
+  BumpHealth(hook, kHbConsecutiveFailures, 1);
+  const auto consecutive = GetHealth(hook, kHbConsecutiveFailures);
+  if (config_.max_consecutive_failures != 0 && consecutive.ok() &&
+      consecutive.value() >= config_.max_consecutive_failures) {
+    FailSafeDetach(hook);
+  }
+}
+
+void Sandbox::FailSafeDetach(int hook) {
+  // Revert the hook slot to the last image that ever completed here; if
+  // the failing image *is* that image (or none ever succeeded), detach
+  // entirely — an empty hook accepts by default, which is the safe mode.
+  const auto last_good = GetHealth(hook, kHbLastGoodDesc);
+  std::uint64_t target = last_good.ok() ? last_good.value() : 0;
+  if (target == hooks_[hook].visible_desc_addr) target = 0;
+  (void)WriteWord(view_.hook_table_addr + hook * 8ull, target);
+  BumpHealth(hook, kHbFailsafeDetaches, 1);
+  SetHealth(hook, kHbConsecutiveFailures, 0);
+  ++stats_.failsafe_detaches;
+  // The local CPU sees its own write immediately (agent-equivalent path).
+  RefreshHookNow(hook);
 }
 
 void Sandbox::Crash() {
@@ -344,7 +444,10 @@ StatusOr<bpf::ExecResult> Sandbox::ExecuteHook(int hook, ByteSpan packet) {
   opts.ctx_addr = ctx_buf_addr_;
   opts.ctx_len = 256;
   opts.stack_addr = stack_addr_;
-  return bpf::RunJit(*state.ebpf_image, rt_, opts);
+  opts.insn_limit = config_.fuel_budget;
+  auto result = bpf::RunJit(*state.ebpf_image, rt_, opts);
+  RecordHookOutcome(hook, result.ok() ? OkStatus() : result.status());
+  return result;
 }
 
 StatusOr<wasm::WasmResult> Sandbox::ExecuteWasmHook(int hook,
@@ -364,7 +467,10 @@ StatusOr<wasm::WasmResult> Sandbox::ExecuteWasmHook(int hook,
       return FailedPrecondition("hook holds an eBPF program");
     }
   }
-  return wasm::RunFilter(*state.wasm_image, host);
+  auto result =
+      wasm::RunFilter(*state.wasm_image, host, config_.wasm_fuel_budget);
+  RecordHookOutcome(hook, result.ok() ? OkStatus() : result.status());
+  return result;
 }
 
 bool Sandbox::TryLockLocal(std::uint64_t owner) {

@@ -50,6 +50,19 @@ struct SandboxConfig {
   // When nonzero, refuse to execute images whose ImageDesc signature
   // does not verify under this key (integrity, §5).
   std::uint64_t signing_key = 0;
+  // ---- runtime guardrails ----
+  // Per-execution instruction budgets ("fuel"). An extension that burns
+  // past its budget is stopped with kResourceExhausted and counted in the
+  // hook's HealthBlock.
+  std::uint64_t fuel_budget = 1u << 20;
+  std::uint64_t wasm_fuel_budget = 1u << 20;
+  // Local fail-safe: after this many consecutive failed executions the
+  // sandbox reverts the hook slot to the last-good ImageDesc on its own
+  // (0 disables; the remote quarantine path still works either way).
+  std::uint32_t max_consecutive_failures = 4;
+  // Master switch for HealthBlock accounting + the fail-safe; exists so
+  // bench/guardrail_overhead can measure the healthy-path cost.
+  bool guardrails = true;
 };
 
 // Image type stored in an ImageDesc's flags word.
@@ -61,6 +74,14 @@ struct SandboxStats {
   std::uint64_t torn_image_failures = 0;
   std::uint64_t signature_failures = 0;
   std::uint64_t refreshes = 0;
+  // Guardrail counters (aggregated across hooks; per-hook detail lives in
+  // the RDMA-readable HealthBlocks).
+  std::uint64_t traps = 0;
+  std::uint64_t fuel_exhaustions = 0;
+  std::uint64_t failsafe_detaches = 0;
+  // Superseded-image reclamation (control-plane initiated).
+  std::uint64_t images_reclaimed = 0;
+  std::uint64_t scratch_bytes_reclaimed = 0;
 };
 
 class Sandbox {
@@ -114,6 +135,14 @@ class Sandbox {
   void RefreshXState();
 
   // ---- introspection ----
+  // CPU-side read of a hook's HealthBlock (tests and local telemetry; the
+  // control plane reads the same words over RDMA).
+  HealthView ReadLocalHealth(int hook) const;
+  // Bookkeeping callback for control-plane-initiated reclamation of a
+  // superseded image region (simulation-side backref, like the refresh
+  // scheduling): accounts the freed bytes in SandboxStats.
+  void AccountReclaim(std::uint64_t bytes);
+
   // Version of the image the CPU currently executes at `hook` (0 = none).
   std::uint64_t VisibleVersion(int hook) const;
   // Version currently committed in memory (what RDMA wrote), which the
@@ -145,6 +174,15 @@ class Sandbox {
 
   StatusOr<std::uint64_t> ReadWord(std::uint64_t addr) const;
   Status WriteWord(std::uint64_t addr, std::uint64_t value);
+  // Guardrail plumbing: HealthBlock word address for `hook`, outcome
+  // accounting after every non-empty execution, and the local fail-safe
+  // that reverts a crash-looping hook to its last-good image.
+  std::uint64_t HealthWordAddr(int hook, std::uint64_t field) const;
+  void BumpHealth(int hook, std::uint64_t field, std::uint64_t delta);
+  void SetHealth(int hook, std::uint64_t field, std::uint64_t value);
+  StatusOr<std::uint64_t> GetHealth(int hook, std::uint64_t field) const;
+  void RecordHookOutcome(int hook, const Status& outcome);
+  void FailSafeDetach(int hook);
   // Writes the control block words + symbol table (boot and reboot).
   Status PublishControlBlock();
   // Loads + decodes the image behind hook's visible desc into the cache.

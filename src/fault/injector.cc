@@ -63,6 +63,12 @@ Status FaultInjector::Arm(const FaultPlan& plan) {
       case FaultKind::kCorrupt:
         corrupts_.push_back(PendingCorrupt{ev.node, ev.at, ev.bytes, false});
         break;
+      case FaultKind::kRogue:
+        events_.ScheduleAt(ev.at, [this, node = ev.node, hook = ev.hook,
+                                   kind = ev.rogue] {
+          FireRogue(node, hook, kind);
+        });
+        break;
     }
   }
   return OkStatus();
@@ -196,6 +202,19 @@ void FaultInjector::FireReboot(rdma::NodeId node) {
   std::snprintf(buf, sizeof(buf), "t=%" PRId64 " reboot node=%u",
                 events_.Now(), node);
   Record(buf);
+}
+
+void FaultInjector::FireRogue(rdma::NodeId node, int hook,
+                              RogueFaultKind kind) {
+  ++faults_injected_;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "t=%" PRId64 " rogue node=%u hook=%d kind=%s",
+                events_.Now(), node, hook, RogueFaultKindName(kind));
+  Record(buf);
+  auto it = node_hooks_.find(node);
+  if (it != node_hooks_.end() && it->second.on_rogue) {
+    it->second.on_rogue(hook, kind);
+  }
 }
 
 void FaultInjector::Record(std::string line) {

@@ -31,9 +31,14 @@ class FaultInjector final : public rdma::FaultHook {
 
   // What "crash" and "reboot" mean for a node is decided above the rdma
   // layer (e.g. wipe a core::Sandbox). Tests and benches wire these in.
+  // `on_rogue` likewise: deploying a misbehaving extension is a control
+  // plane action, so the injector only fires the callback at the planned
+  // time — the rig decides what "rogue" means (InjectExtension of a
+  // GenerateRogueProgram, typically).
   struct NodeHooks {
     std::function<void()> on_crash;
     std::function<void()> on_reboot;
+    std::function<void(int hook, RogueFaultKind kind)> on_rogue;
   };
   void SetNodeHooks(rdma::NodeId node, NodeHooks hooks);
 
@@ -71,6 +76,7 @@ class FaultInjector final : public rdma::FaultHook {
   void FireQpError(rdma::NodeId node);
   void FireCrash(rdma::NodeId node, sim::Duration reboot_after);
   void FireReboot(rdma::NodeId node);
+  void FireRogue(rdma::NodeId node, int hook, RogueFaultKind kind);
   void Record(std::string line);
 
   sim::EventQueue& events_;

@@ -16,6 +16,16 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kCrash: return "crash";
     case FaultKind::kCorrupt: return "corrupt";
     case FaultKind::kDrop: return "drop";
+    case FaultKind::kRogue: return "rogue";
+  }
+  return "unknown";
+}
+
+const char* RogueFaultKindName(RogueFaultKind kind) {
+  switch (kind) {
+    case RogueFaultKind::kTrap: return "trap";
+    case RogueFaultKind::kFuel: return "fuel";
+    case RogueFaultKind::kHog: return "hog";
   }
   return "unknown";
 }
@@ -125,6 +135,8 @@ StatusOr<FaultPlan> ParseFaultPlan(std::string_view text) {
     FaultEvent ev;
     bool has_node = false;
     bool has_at = false;
+    bool has_hook = false;
+    bool has_rogue_kind = false;
     if (verb == "qp_error") {
       ev.kind = FaultKind::kQpError;
     } else if (verb == "partition") {
@@ -137,6 +149,8 @@ StatusOr<FaultPlan> ParseFaultPlan(std::string_view text) {
       ev.kind = FaultKind::kCorrupt;
     } else if (verb == "drop") {
       ev.kind = FaultKind::kDrop;
+    } else if (verb == "rogue") {
+      ev.kind = FaultKind::kRogue;
     } else {
       return LineError(line_no, "unknown fault kind '" + verb + "'");
     }
@@ -175,6 +189,24 @@ StatusOr<FaultPlan> ParseFaultPlan(std::string_view text) {
         if (ev.probability < 0.0 || ev.probability > 1.0) {
           return LineError(line_no, "p must be in [0, 1]");
         }
+      } else if (key == "hook") {
+        if (value.empty() ||
+            value.find_first_not_of("0123456789") != std::string::npos) {
+          return LineError(line_no, "bad hook '" + value + "'");
+        }
+        ev.hook = static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+        has_hook = true;
+      } else if (key == "kind") {
+        if (value == "trap") {
+          ev.rogue = RogueFaultKind::kTrap;
+        } else if (value == "fuel") {
+          ev.rogue = RogueFaultKind::kFuel;
+        } else if (value == "hog") {
+          ev.rogue = RogueFaultKind::kHog;
+        } else {
+          return LineError(line_no, "bad rogue kind '" + value + "'");
+        }
+        has_rogue_kind = true;
       } else {
         return LineError(line_no, "unknown attribute '" + key + "'");
       }
@@ -195,6 +227,9 @@ StatusOr<FaultPlan> ParseFaultPlan(std::string_view text) {
     if (!windowed && ev.node == rdma::kInvalidNode) {
       return LineError(line_no, std::string(FaultKindName(ev.kind)) +
                                     " cannot use node=*");
+    }
+    if (ev.kind == FaultKind::kRogue && (!has_hook || !has_rogue_kind)) {
+      return LineError(line_no, "rogue needs hook= and kind=");
     }
     plan.events.push_back(ev);
   }

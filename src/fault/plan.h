@@ -9,9 +9,13 @@
 //   degrade   node=2 at=5us for=20us factor=8
 //   corrupt   node=1 at=30us bytes=4
 //   drop      node=* at=0 for=1ms p=0.05
+//   rogue     node=1 at=40us hook=2 kind=trap
 //
 // Times accept ns/us/ms/s suffixes (bare numbers are nanoseconds) and
-// `node=*` targets every node (only for the windowed kinds).
+// `node=*` targets every node (only for the windowed kinds). `rogue`
+// schedules the deployment of a misbehaving-but-verifier-clean extension
+// (kind=trap|fuel|hog) at a hook — the adversarial pressure the runtime
+// guardrails are tested against.
 #pragma once
 
 #include <cstdint>
@@ -31,9 +35,20 @@ enum class FaultKind : std::uint8_t {
   kCrash,      // node dies at `at` (memory wiped); reboots after reboot_after
   kCorrupt,    // flips `bytes` bytes of the next large WRITE to the node
   kDrop,       // each op touching the node is lost with probability p
+  kRogue,      // deploy a misbehaving extension to hook at `at`
 };
 
 const char* FaultKindName(FaultKind kind);
+
+// What flavor of misbehavior a `rogue` event deploys (mirrors
+// bpf::RogueKind; the fault layer stays independent of the bpf headers).
+enum class RogueFaultKind : std::uint8_t {
+  kTrap,  // traps on every execution (verifier-clean crash loop)
+  kFuel,  // burns past the per-execution fuel budget
+  kHog,   // oversized image that eats remote scratchpad
+};
+
+const char* RogueFaultKindName(RogueFaultKind kind);
 
 struct FaultEvent {
   FaultKind kind;
@@ -44,6 +59,8 @@ struct FaultEvent {
   double factor = 1.0;             // degrade
   std::uint32_t bytes = 1;         // corrupt
   double probability = 0.0;        // drop
+  int hook = 0;                    // rogue
+  RogueFaultKind rogue = RogueFaultKind::kTrap;  // rogue
 };
 
 struct FaultPlan {

@@ -269,7 +269,7 @@ StatusOr<WasmResult> RunFilter(const WasmImage& image, WasmHost& host,
       return Aborted("wasm pc ran off the end");
     }
     if (++result.insns_executed > step_limit) {
-      return Aborted("wasm step limit exceeded");
+      return ResourceExhausted("wasm step limit exceeded");
     }
     const WasmInsn& insn = image.code[pc];
     switch (insn.op) {

@@ -219,7 +219,7 @@ TEST(Guards, InstructionLimitAborts) {
   ASSERT_TRUE(insns.ok());
   h.opts.insn_limit = 1000;
   auto result = Interpret(insns.value(), h.rt, h.opts);
-  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
 }
 
 TEST(Guards, FallingOffTheEndAborts) {

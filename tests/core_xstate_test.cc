@@ -266,7 +266,7 @@ TEST(XStateLimits, ScratchpadExhaustionSurfaces) {
   bpf::MapSpec big2 = big;
   big2.name = "b2";
   rig.cp->DeployXState(*rig.flows[0], big2, [&](StatusOr<std::uint64_t> a) {
-    EXPECT_EQ(a.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(a.status().code(), StatusCode::kScratchExhausted);
     rejected = true;
   });
   rig.events.Run();

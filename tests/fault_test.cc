@@ -154,10 +154,11 @@ TEST(FaultPlan, ParsesEveryKind) {
     degrade node=2 at=5us for=20us factor=8
     corrupt node=1 at=30us bytes=4
     drop node=* at=0 for=1ms p=0.05
+    rogue node=1 at=40us hook=2 kind=fuel
   )");
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   EXPECT_EQ(plan->seed, 42u);
-  ASSERT_EQ(plan->events.size(), 6u);
+  ASSERT_EQ(plan->events.size(), 7u);
   EXPECT_EQ(plan->events[0].kind, FaultKind::kQpError);
   EXPECT_EQ(plan->events[0].at, sim::Micros(10));
   EXPECT_EQ(plan->events[1].reboot_after, sim::Micros(200));
@@ -166,6 +167,9 @@ TEST(FaultPlan, ParsesEveryKind) {
   EXPECT_EQ(plan->events[4].bytes, 4u);
   EXPECT_EQ(plan->events[5].node, rdma::kInvalidNode);
   EXPECT_DOUBLE_EQ(plan->events[5].probability, 0.05);
+  EXPECT_EQ(plan->events[6].kind, FaultKind::kRogue);
+  EXPECT_EQ(plan->events[6].hook, 2);
+  EXPECT_EQ(plan->events[6].rogue, fault::RogueFaultKind::kFuel);
 }
 
 TEST(FaultPlan, RejectionsCarryLineNumbers) {
@@ -184,6 +188,10 @@ TEST(FaultPlan, RejectionsCarryLineNumbers) {
       {"explode node=1 at=0\n", "unknown fault kind"},
       {"qp_error node=1 at=10lightyears\n", "bad time"},
       {"seed banana\n", "seed"},
+      {"rogue node=1 at=0 kind=trap\n", "hook="},
+      {"rogue node=1 at=0 hook=0\n", "kind="},
+      {"rogue node=1 at=0 hook=0 kind=sneaky\n", "bad rogue kind"},
+      {"rogue node=* at=0 hook=0 kind=trap\n", "node=*"},
   };
   for (const Case& c : bad) {
     auto plan = ParseFaultPlan(c.text);
@@ -435,6 +443,24 @@ TEST(Health, LeaseTracksLastSuccessfulCompletion) {
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(rig.cp->NodeHealthy(node, sim::Millis(5)));
   EXPECT_TRUE(rm.Healthy(*rig.flows[0]));
+}
+
+TEST(Health, LeaseBoundaryTickIsStillHealthy) {
+  FaultRig rig(1);
+  const rdma::NodeId node = rig.NodeId(0);
+  const sim::SimTime last = rig.cp->LastSuccess(node);
+  ASSERT_GE(last, 0);
+  const sim::Duration lease = sim::Micros(500);
+
+  // Land exactly on the boundary: now - last == lease must still count as
+  // healthy (the lease is inclusive); one tick past it must not.
+  rig.events.ScheduleAt(last + lease, [&] {
+    EXPECT_TRUE(rig.cp->NodeHealthy(node, lease));
+  });
+  rig.events.ScheduleAt(last + lease + 1, [&] {
+    EXPECT_FALSE(rig.cp->NodeHealthy(node, lease));
+  });
+  rig.events.Run();
 }
 
 // ---- orchestrator failure policy ----

@@ -205,7 +205,7 @@ TEST(WasmRun, StepLimitAborts) {
   ASSERT_TRUE(image.ok());
   RecordingHost host;
   auto result = RunFilter(*image, host, /*step_limit=*/10);
-  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
 }
 
 TEST(WasmRun, UnlinkedImageRefused) {
