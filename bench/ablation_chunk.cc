@@ -39,7 +39,8 @@ double MeasureDeploy(std::uint32_t chunk_bytes, std::size_t insns) {
   if (!warm) std::abort();
 
   Summary total_us;
-  for (int rep = 0; rep < 10; ++rep) {
+  const int reps = bench::ScaledIters(10, 1);
+  for (int rep = 0; rep < reps; ++rep) {
     bool done = false;
     cp.InjectExtension(*flow, prog, 0, [&](StatusOr<core::InjectTrace> r) {
       if (!r.ok()) std::abort();
@@ -60,7 +61,8 @@ int main() {
       "DESIGN.md (doorbell batching; per-WR overhead vs payload "
       "streaming)");
   bench::PrintRow({"chunk", "1.3K_us", "26K_us", "95K_us"});
-  constexpr std::uint32_t kChunks[] = {512, 4096, 32768, 262144, 1 << 20};
+  std::vector<std::uint32_t> kChunks = {512, 4096, 32768, 262144, 1 << 20};
+  if (bench::SmokeMode()) kChunks = {4096};
   for (std::uint32_t chunk : kChunks) {
     bench::PrintRow({bench::FmtInt(chunk),
                      bench::Fmt(MeasureDeploy(chunk, 1300), 1),

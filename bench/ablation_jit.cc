@@ -3,6 +3,9 @@
 // covers the image wire codec, whose cost sits on the control-plane path.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <vector>
+
 #include "bpf/exec.h"
 #include "bpf/interpreter.h"
 #include "bpf/jit.h"
@@ -122,4 +125,22 @@ BENCHMARK(BM_Verifier)->Arg(1300)->Arg(11000)->Arg(95000);
 }  // namespace
 }  // namespace rdx::bpf
 
-BENCHMARK_MAIN();
+// Hand-rolled main so RDX_BENCH_SMOKE=1 (scripts/check.sh) shrinks every
+// measurement to a token run, matching the other benches' smoke mode.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  char min_time[] = "--benchmark_min_time=0.01";
+  const char* smoke = std::getenv("RDX_BENCH_SMOKE");
+  if (smoke != nullptr && smoke[0] != '\0' &&
+      !(smoke[0] == '0' && smoke[1] == '\0')) {
+    args.push_back(min_time);
+  }
+  int arg_count = static_cast<int>(args.size());
+  benchmark::Initialize(&arg_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(arg_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -116,7 +116,9 @@ int main() {
   for (const Config& config : kConfigs) {
     Summary inject_us, visible_us;
     std::uint64_t torn = 0;
-    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const std::uint64_t seeds =
+        static_cast<std::uint64_t>(bench::ScaledIters(10, 1));
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
       const SyncOutcome outcome =
           RunConfig(config.tx, config.cc, config.lock, seed);
       inject_us.Add(outcome.inject_us);

@@ -102,7 +102,7 @@ int main() {
             reinterpret_cast<std::uint64_t>(storages.back().data()));
   }
   const auto t0 = std::chrono::steady_clock::now();
-  constexpr int kIters = 100000;
+  const int kIters = bench::ScaledIters(100000, 100);
   std::uint64_t checksum = 0;
   for (int iter = 0; iter < kIters; ++iter) {
     for (int i = 0; i < kEntries; ++i) {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
@@ -16,6 +17,26 @@
 #include "core/codeflow.h"
 
 namespace rdx::bench {
+
+// Build stamp: bench/CMakeLists.txt passes the current commit via
+// -DRDX_GIT_SHA="..."; a tarball build falls back to "unknown".
+#ifndef RDX_GIT_SHA
+#define RDX_GIT_SHA "unknown"
+#endif
+inline const char* GitSha() { return RDX_GIT_SHA; }
+
+// RDX_BENCH_SMOKE=1 makes every bench run tiny iteration counts — a
+// seconds-long CI pass that exercises every code path without producing
+// publication-quality numbers (scripts/check.sh uses it).
+inline bool SmokeMode() {
+  const char* v = std::getenv("RDX_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+// Full iteration count normally, a tiny one under RDX_BENCH_SMOKE=1.
+inline int ScaledIters(int full, int smoke = 2) {
+  return SmokeMode() ? smoke : full;
+}
 
 // A control-plane node plus N sandbox nodes, with both management paths
 // wired: an RDX CodeFlow per node and an agent per node.
@@ -134,8 +155,19 @@ class Json {
   std::string body_;
 };
 
-inline void PrintBenchJson(const std::string& name, const Json& json) {
-  std::printf("BENCH_%s.json %s\n", name.c_str(), json.Str().c_str());
+// Every BENCH_*.json line carries a provenance stamp: the commit it was
+// built from, whether it ran in smoke mode, and (when the caller passes
+// its event queue) the final virtual-clock time of the run — enough to
+// tell two sweeps apart months later.
+inline void PrintBenchJson(const std::string& name, const Json& json,
+                           const sim::EventQueue* events = nullptr) {
+  Json stamped = json;
+  stamped.Add("git_sha", std::string(GitSha()));
+  stamped.Add("smoke", SmokeMode() ? 1 : 0);
+  if (events != nullptr) {
+    stamped.Add("vclock_end_ns", static_cast<std::uint64_t>(events->Now()));
+  }
+  std::printf("BENCH_%s.json %s\n", name.c_str(), stamped.Str().c_str());
 }
 
 }  // namespace rdx::bench

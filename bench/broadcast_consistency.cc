@@ -64,7 +64,8 @@ Outcome RunUpdate(Mode mode, const mesh::AppSpec& app, std::uint64_t seed) {
   }
 
   sim.StartWorkload();
-  events.RunUntil(events.Now() + sim::Millis(200));
+  events.RunUntil(events.Now() +
+                  (bench::SmokeMode() ? sim::Millis(20) : sim::Millis(200)));
   (void)sim.TakeMetrics();
 
   // The v1 -> v2 update, through the mode under test.
@@ -105,8 +106,9 @@ Outcome RunUpdate(Mode mode, const mesh::AppSpec& app, std::uint64_t seed) {
   }
   while (!done && !events.Empty()) events.Step();
   (void)t0;
-  // Drain another 200 ms so late requests finish.
-  events.RunUntil(events.Now() + sim::Millis(200));
+  // Drain so late requests finish (200 ms; shorter in smoke mode).
+  events.RunUntil(events.Now() +
+                  (bench::SmokeMode() ? sim::Millis(20) : sim::Millis(200)));
   mesh::MeshMetrics metrics = sim.TakeMetrics();
   sim.StopWorkload();
   outcome.mixed = metrics.mixed_version;
@@ -124,7 +126,9 @@ int main() {
       "backlog)");
   bench::PrintRow({"app", "mode", "window", "mixed_reqs", "buffered"});
 
-  for (const mesh::AppSpec& app : mesh::AppSpec::PaperApps()) {
+  auto apps = mesh::AppSpec::PaperApps();
+  if (bench::SmokeMode()) apps.resize(1);
+  for (const mesh::AppSpec& app : apps) {
     const Outcome agent = RunUpdate(Mode::kAgent, app, 1);
     const Outcome rdx = RunUpdate(Mode::kRdx, app, 1);
     const Outcome bbu = RunUpdate(Mode::kRdxBbu, app, 1);

@@ -19,9 +19,10 @@ int main() {
   bench::PrintRow(
       {"fault_rate", "deploys", "ok", "p50_us", "p99_us", "max_attempts"});
 
-  constexpr int kNodes = 4;
+  const int kNodes = bench::SmokeMode() ? 2 : 4;
   constexpr int kMaxRetries = 8;
-  const double rates[] = {0.0, 0.01, 0.05, 0.10};
+  std::vector<double> rates = {0.0, 0.01, 0.05, 0.10};
+  if (bench::SmokeMode()) rates = {0.0, 0.05};
 
   for (double rate : rates) {
     bench::Cluster cluster(kNodes);
@@ -74,7 +75,8 @@ int main() {
                               .Add("success_rate", success)
                               .Add("p50_us", p50_us, 1)
                               .Add("p99_us", p99_us, 1)
-                              .Add("max_attempts", max_attempts));
+                              .Add("max_attempts", max_attempts),
+                          &cluster.events);
   }
   std::printf(
       "\nshape check: success stays at/near 100%% through 10%% drop rate "

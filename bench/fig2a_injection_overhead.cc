@@ -13,9 +13,10 @@ int main() {
                      "instruction count)");
   bench::PrintRow({"insns", "mean_ms", "p99_ms", "verify_share"});
 
-  constexpr std::size_t kSizes[] = {1'000, 5'000, 10'000, 20'000, 40'000,
-                                    60'000, 80'000};
-  constexpr int kReps = 20;
+  std::vector<std::size_t> kSizes = {1'000,  5'000,  10'000, 20'000,
+                                     40'000, 60'000, 80'000};
+  if (bench::SmokeMode()) kSizes.resize(1);
+  const int kReps = bench::ScaledIters(20);
 
   for (std::size_t size : kSizes) {
     bench::Cluster cluster(1);

@@ -17,8 +17,10 @@ int main() {
       "app size; eBPF and Wasm alike)");
   bench::PrintRow({"app", "services", "ebpf_ms", "wasm_ms"});
 
-  constexpr int kReps = 10;
-  for (const mesh::AppSpec& app : mesh::AppSpec::PaperApps()) {
+  const int kReps = bench::ScaledIters(10, 1);
+  auto apps = mesh::AppSpec::PaperApps();
+  if (bench::SmokeMode()) apps.resize(1);
+  for (const mesh::AppSpec& app : apps) {
     Summary ebpf_ms, wasm_ms;
     for (int rep = 0; rep < kReps; ++rep) {
       // One agent per microservice sidecar.

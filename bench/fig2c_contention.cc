@@ -17,6 +17,13 @@ struct Point {
 };
 
 Point RunWindow(bool agent_path, int updates_per_10s, std::uint64_t seed) {
+  // Smoke mode shrinks the measurement window (virtual seconds cost real
+  // wall time through event count); the shape is meaningless but every
+  // path still runs.
+  const sim::Duration warmup =
+      bench::SmokeMode() ? sim::Millis(50) : sim::Seconds(1);
+  const sim::Duration window =
+      bench::SmokeMode() ? sim::Millis(200) : sim::Seconds(10);
   sim::EventQueue events;
   rdma::Fabric fabric(events);
   const rdma::NodeId cp_id = fabric.AddNode("cp", 128u << 20).id();
@@ -49,7 +56,7 @@ Point RunWindow(bool agent_path, int updates_per_10s, std::uint64_t seed) {
   }
 
   sim.StartWorkload();
-  events.RunUntil(sim::Seconds(1));  // warmup
+  events.RunUntil(warmup);
   (void)sim.TakeMetrics();
 
   // Schedule `updates_per_10s` filter updates, spread over the window,
@@ -59,7 +66,7 @@ Point RunWindow(bool agent_path, int updates_per_10s, std::uint64_t seed) {
   const sim::SimTime window_start = events.Now();
   for (int u = 0; u < updates_per_10s; ++u) {
     const sim::SimTime at =
-        window_start + sim::Seconds(10) * (u + 1) / (updates_per_10s + 1);
+        window_start + window * (u + 1) / (updates_per_10s + 1);
     events.ScheduleAt(at, [&, u] {
       wasm::FilterModule filter = wasm::GenerateFilter(
           5000, static_cast<std::uint64_t>(u + 1));
@@ -74,7 +81,7 @@ Point RunWindow(bool agent_path, int updates_per_10s, std::uint64_t seed) {
       }
     });
   }
-  events.RunUntil(window_start + sim::Seconds(10));
+  events.RunUntil(window_start + window);
   mesh::MeshMetrics metrics = sim.TakeMetrics();
   sim.StopWorkload();
 
@@ -94,7 +101,10 @@ int main() {
       "agentless RDX stays flat)");
   bench::PrintRow({"upd/10s", "agent_req_s", "rdx_req_s", "agent_cpu"});
 
-  constexpr int kRates[] = {0, 50, 100, 200, 300, 400};
+  const std::vector<int> kRates = bench::SmokeMode()
+                                      ? std::vector<int>{0, 50}
+                                      : std::vector<int>{0, 50, 100, 200,
+                                                         300, 400};
   for (int rate : kRates) {
     const Point with_agent = RunWindow(/*agent_path=*/true, rate, 7);
     const Point with_rdx = RunWindow(/*agent_path=*/false, rate, 7);

@@ -13,8 +13,11 @@ int main() {
                      "Figure 4a (RDX wins by 47x..1982x, growing with size)");
   bench::PrintRow({"insns", "agent_ms", "rdx_us", "speedup"});
 
-  constexpr int kReps = 15;
-  for (std::size_t size : bpf::kPaperSweepSizes) {
+  const int kReps = bench::ScaledIters(15);
+  std::vector<std::size_t> sizes(std::begin(bpf::kPaperSweepSizes),
+                                 std::end(bpf::kPaperSweepSizes));
+  if (bench::SmokeMode()) sizes.resize(1);
+  for (std::size_t size : sizes) {
     bench::Cluster cluster(2);
     // Node 0 takes the agent path, node 1 the RDX path (identical specs).
     Summary agent_ms, rdx_us;
@@ -61,7 +64,8 @@ int main() {
                               .Add("insns", static_cast<std::uint64_t>(size))
                               .Add("agent_ms", agent_ms.mean())
                               .Add("rdx_us", rdx_us.mean())
-                              .Add("speedup", speedup, 1));
+                              .Add("speedup", speedup, 1),
+                          &cluster.events);
   }
   std::printf(
       "\nshape check: agent grows to 100+ ms; RDX stays at tens-of-us; the "

@@ -14,7 +14,7 @@ int main() {
 
   bench::Cluster cluster(2);
   bpf::Program prog = bpf::GenerateProgram({.target_insns = 1300, .seed = 1});
-  constexpr int kReps = 50;
+  const int kReps = bench::ScaledIters(50);
 
   Summary queue_ms, verify_ms, jit_ms, attach_ms, agent_total_ms;
   for (int rep = 0; rep < kReps; ++rep) {

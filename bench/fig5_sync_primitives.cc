@@ -63,8 +63,9 @@ int main() {
       "pressure; RDX rdx_cc_event: ~2 us flat)");
   bench::PrintRow({"CPKI", "vanilla_med_us", "vanilla_p90_us", "rdx_med_us"});
 
-  constexpr double kCpkis[] = {5, 10, 20, 30, 40};
-  constexpr int kSamples = 60;
+  std::vector<double> kCpkis = {5, 10, 20, 30, 40};
+  if (bench::SmokeMode()) kCpkis.resize(1);
+  const int kSamples = bench::ScaledIters(60, 3);
   for (double cpki : kCpkis) {
     Histogram vanilla_ns, rdx_ns;
     for (int s = 0; s < kSamples; ++s) {

@@ -79,7 +79,7 @@ int main() {
   bench::PrintHeader("Runtime guardrail overhead + containment latency",
                      "§5 guardrails (health accounting / quarantine)");
 
-  constexpr int kIters = 20000;
+  const int kIters = bench::ScaledIters(20000, 200);
   const double ns_off = MeasureExecNs(/*guardrails=*/false, kIters);
   const double ns_on = MeasureExecNs(/*guardrails=*/true, kIters);
   const double overhead_pct = (ns_on - ns_off) / ns_off * 100.0;
@@ -151,6 +151,6 @@ int main() {
            static_cast<std::uint64_t>(monitor.policy().poll_period / 1000))
       .Add("failsafe_executions_to_contain",
            static_cast<std::uint64_t>(failed_execs));
-  bench::PrintBenchJson("guardrail_overhead", json);
+  bench::PrintBenchJson("guardrail_overhead", json, &local.events);
   return 0;
 }

@@ -11,6 +11,11 @@ using namespace rdx;
 namespace {
 
 double RunMesh(bool agent_path, int updates_per_10s, std::uint64_t seed) {
+  // Smoke mode shrinks the virtual measurement window; see fig2c.
+  const sim::Duration warmup =
+      bench::SmokeMode() ? sim::Millis(50) : sim::Seconds(1);
+  const sim::Duration window =
+      bench::SmokeMode() ? sim::Millis(200) : sim::Seconds(10);
   sim::EventQueue events;
   rdma::Fabric fabric(events);
   const rdma::NodeId cp_id = fabric.AddNode("cp", 128u << 20).id();
@@ -40,7 +45,7 @@ double RunMesh(bool agent_path, int updates_per_10s, std::uint64_t seed) {
   }
 
   sim.StartWorkload();
-  events.RunUntil(sim::Seconds(1));
+  events.RunUntil(warmup);
   (void)sim.TakeMetrics();
 
   // Each update is an app-level rollout: the new filter version reaches
@@ -48,7 +53,7 @@ double RunMesh(bool agent_path, int updates_per_10s, std::uint64_t seed) {
   const sim::SimTime window_start = events.Now();
   for (int u = 0; u < updates_per_10s; ++u) {
     const sim::SimTime at =
-        window_start + sim::Seconds(10) * (u + 1) / (updates_per_10s + 1);
+        window_start + window * (u + 1) / (updates_per_10s + 1);
     events.ScheduleAt(at, [&, u] {
       wasm::FilterModule filter = wasm::GenerateFilter(
           5000, static_cast<std::uint64_t>(u + 1));
@@ -63,7 +68,7 @@ double RunMesh(bool agent_path, int updates_per_10s, std::uint64_t seed) {
       }
     });
   }
-  events.RunUntil(window_start + sim::Seconds(10));
+  events.RunUntil(window_start + window);
   mesh::MeshMetrics metrics = sim.TakeMetrics();
   sim.StopWorkload();
   return metrics.CompletionRatePerSec();
@@ -78,7 +83,9 @@ int main() {
       "performance by up to 65% under CPU interference)");
   bench::PrintRow({"churn/10s", "agent_req_s", "rdx_req_s", "improvement"});
 
-  constexpr int kChurns[] = {50, 100, 200, 300};
+  const std::vector<int> kChurns =
+      bench::SmokeMode() ? std::vector<int>{50}
+                         : std::vector<int>{50, 100, 200, 300};
   for (int churn : kChurns) {
     const double agent_rate = RunMesh(/*agent_path=*/true, churn, 9);
     const double rdx_rate = RunMesh(/*agent_path=*/false, churn, 9);

@@ -77,9 +77,12 @@ double RunStore(bool agent_path, std::uint64_t seed) {
   workload_config.clients = 64;
   kvstore::KvWorkload workload(events, store, workload_config);
   workload.Start();
-  events.RunUntil(events.Now() + sim::Seconds(1));  // warmup
+  // Smoke mode shrinks the virtual measurement window; see fig2c.
+  events.RunUntil(events.Now() + (bench::SmokeMode() ? sim::Millis(50)
+                                                     : sim::Seconds(1)));
   (void)store.TakeMetrics();
-  events.RunUntil(events.Now() + sim::Seconds(5));
+  events.RunUntil(events.Now() + (bench::SmokeMode() ? sim::Millis(300)
+                                                     : sim::Seconds(5)));
   kvstore::StoreMetrics metrics = store.TakeMetrics();
   workload.Stop();
   return metrics.ThroughputPerSec();

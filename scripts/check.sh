@@ -6,6 +6,7 @@
 #
 # Usage: scripts/check.sh            # from anywhere inside the repo
 #        RDX_SKIP_SANITIZERS=1 scripts/check.sh   # quick gate only
+#        RDX_BENCH_SMOKE=1 scripts/check.sh       # + run every bench tiny
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -21,8 +22,18 @@ echo "== strict: -Wall -Wextra -Werror build of src/ libraries =="
 cmake -B build-werror -S . \
   -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror" >/dev/null
 cmake --build build-werror -j"$(nproc)" --target \
-  rdx_common rdx_sim rdx_rdma rdx_bpf rdx_wasm \
+  rdx_common rdx_sim rdx_rdma rdx_bpf rdx_wasm rdx_telemetry \
   rdx_agent rdx_core rdx_fault rdx_mesh rdx_kvstore
+
+if [[ "${RDX_BENCH_SMOKE:-0}" == "1" ]]; then
+  echo
+  echo "== bench smoke: every bench binary, tiny iterations =="
+  for bench in build/bench/*; do
+    [[ -f "$bench" && -x "$bench" ]] || continue
+    echo "-- $(basename "$bench")"
+    RDX_BENCH_SMOKE=1 "$bench" >/dev/null
+  done
+fi
 
 if [[ "${RDX_SKIP_SANITIZERS:-0}" != "1" ]]; then
   echo

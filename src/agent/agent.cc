@@ -7,7 +7,10 @@ namespace rdx::agent {
 
 NodeAgent::NodeAgent(sim::EventQueue& events, core::Sandbox& sandbox,
                      sim::CpuScheduler& cpu, AgentConfig config)
-    : events_(events), sandbox_(sandbox), cpu_(cpu), config_(config) {}
+    : events_(events), sandbox_(sandbox), cpu_(cpu), config_(config) {
+  owned_tracer_.emplace(events_);
+  tracer_ = &*owned_tracer_;
+}
 
 Status NodeAgent::AttachImage(Bytes image_bytes, int hook) {
   // Local (CPU-side) attach: allocate from this node's scratchpad brk,
@@ -50,42 +53,53 @@ void NodeAgent::LoadExtension(
     const bpf::Program& prog, int hook,
     std::function<void(StatusOr<AgentTrace>)> done) {
   auto trace = std::make_shared<AgentTrace>();
-  const sim::SimTime t0 = events_.Now();
+  const std::uint32_t pid = static_cast<std::uint32_t>(sandbox_.node().id());
+  const std::uint32_t tid = static_cast<std::uint32_t>(hook);
+  const auto load_id = tracer_->BeginSpan("agent:load", pid, tid);
+  const auto queue_id = tracer_->BeginSpan("agent:queue", pid, tid);
 
   // Daemon wakeup + config parse.
   cpu_.Submit(config_.cost.agent_dispatch_cycles, [this, prog, hook, trace,
-                                                   t0,
+                                                   pid, tid, load_id, queue_id,
                                                    done = std::move(done)]() mutable {
-    trace->queue = events_.Now() - t0;
-    const sim::SimTime t1 = events_.Now();
+    tracer_->EndSpan(queue_id);
+    trace->queue = tracer_->SpanDuration(queue_id);
+    const auto verify_id = tracer_->BeginSpan("agent:verify", pid, tid);
     // Verification: real work, charged to this node's CPU.
     const Status verdict = bpf::Verifier().Verify(prog);
     cpu_.Submit(config_.cost.VerifyCycles(prog.size()), [this, prog, hook,
-                                                         trace, t0, t1,
+                                                         trace, pid, tid,
+                                                         load_id, verify_id,
                                                          verdict,
                                                          done = std::move(
                                                              done)]() mutable {
-      trace->verify = events_.Now() - t1;
+      tracer_->EndSpan(verify_id);
+      trace->verify = tracer_->SpanDuration(verify_id);
       if (!verdict.ok()) {
+        tracer_->EndSpan(load_id);
         done(verdict);
         return;
       }
-      const sim::SimTime t2 = events_.Now();
+      const auto jit_id = tracer_->BeginSpan("agent:jit", pid, tid);
       auto image = bpf::JitCompiler().Compile(prog);
       cpu_.Submit(config_.cost.JitCycles(prog.size()), [this, prog, hook,
-                                                        trace, t0, t2,
+                                                        trace, pid, tid,
+                                                        load_id, jit_id,
                                                         image = std::move(
                                                             image),
                                                         done = std::move(
                                                             done)]() mutable {
-        trace->jit = events_.Now() - t2;
+        tracer_->EndSpan(jit_id);
+        trace->jit = tracer_->SpanDuration(jit_id);
         if (!image.ok()) {
+          tracer_->EndSpan(load_id);
           done(image.status());
           return;
         }
-        const sim::SimTime t3 = events_.Now();
+        const auto attach_id = tracer_->BeginSpan("agent:attach", pid, tid);
         cpu_.Submit(config_.cost.attach_fixed_cycles, [this, prog, hook,
-                                                       trace, t0, t3,
+                                                       trace, load_id,
+                                                       attach_id,
                                                        image = std::move(
                                                            image),
                                                        done = std::move(
@@ -110,6 +124,8 @@ void NodeAgent::LoadExtension(
               const std::uint64_t bytes = bpf::MapRequiredBytes(spec);
               auto alloc = mem.Allocate(bytes, 64);
               if (!alloc.ok()) {
+                tracer_->EndSpan(attach_id);
+                tracer_->EndSpan(load_id);
                 done(alloc.status());
                 return;
               }
@@ -117,6 +133,8 @@ void NodeAgent::LoadExtension(
               bpf::MapView map_view(mem.SpanForCpu(addr, bytes));
               Status init = map_view.Init(spec);
               if (!init.ok()) {
+                tracer_->EndSpan(attach_id);
+                tracer_->EndSpan(load_id);
                 done(init);
                 return;
               }
@@ -127,11 +145,15 @@ void NodeAgent::LoadExtension(
           }
           Status attached = AttachImage(linked.Serialize(), hook);
           if (!attached.ok()) {
+            tracer_->EndSpan(attach_id);
+            tracer_->EndSpan(load_id);
             done(attached);
             return;
           }
-          trace->attach = events_.Now() - t3;
-          trace->total = events_.Now() - t0;
+          tracer_->EndSpan(attach_id);
+          tracer_->EndSpan(load_id);
+          trace->attach = tracer_->SpanDuration(attach_id);
+          trace->total = tracer_->SpanDuration(load_id);
           ++loads_completed_;
           done(*trace);
         });
@@ -144,41 +166,53 @@ void NodeAgent::LoadWasmFilter(
     const wasm::FilterModule& module, int hook,
     std::function<void(StatusOr<AgentTrace>)> done) {
   auto trace = std::make_shared<AgentTrace>();
-  const sim::SimTime t0 = events_.Now();
+  const std::uint32_t pid = static_cast<std::uint32_t>(sandbox_.node().id());
+  const std::uint32_t tid = static_cast<std::uint32_t>(hook);
+  const auto load_id = tracer_->BeginSpan("agent:load", pid, tid);
+  const auto queue_id = tracer_->BeginSpan("agent:queue", pid, tid);
   cpu_.Submit(config_.cost.agent_dispatch_cycles, [this, module, hook, trace,
-                                                   t0,
+                                                   pid, tid, load_id, queue_id,
                                                    done = std::move(done)]() mutable {
-    trace->queue = events_.Now() - t0;
-    const sim::SimTime t1 = events_.Now();
+    tracer_->EndSpan(queue_id);
+    trace->queue = tracer_->SpanDuration(queue_id);
+    const auto verify_id = tracer_->BeginSpan("agent:verify", pid, tid);
     const Status verdict = wasm::ValidateFilter(module);
     cpu_.Submit(config_.cost.WasmValidateCycles(module.size()), [this,
                                                                  module, hook,
-                                                                 trace, t0,
-                                                                 t1, verdict,
+                                                                 trace, pid,
+                                                                 tid, load_id,
+                                                                 verify_id,
+                                                                 verdict,
                                                                  done = std::move(
                                                                      done)]() mutable {
-      trace->verify = events_.Now() - t1;
+      tracer_->EndSpan(verify_id);
+      trace->verify = tracer_->SpanDuration(verify_id);
       if (!verdict.ok()) {
+        tracer_->EndSpan(load_id);
         done(verdict);
         return;
       }
-      const sim::SimTime t2 = events_.Now();
+      const auto jit_id = tracer_->BeginSpan("agent:jit", pid, tid);
       auto image = wasm::CompileFilter(module);
       cpu_.Submit(config_.cost.WasmCompileCycles(module.size()), [this,
                                                                   hook, trace,
-                                                                  t0, t2,
+                                                                  pid, tid,
+                                                                  load_id,
+                                                                  jit_id,
                                                                   image = std::move(
                                                                       image),
                                                                   done = std::move(
                                                                       done)]() mutable {
-        trace->jit = events_.Now() - t2;
+        tracer_->EndSpan(jit_id);
+        trace->jit = tracer_->SpanDuration(jit_id);
         if (!image.ok()) {
+          tracer_->EndSpan(load_id);
           done(image.status());
           return;
         }
-        const sim::SimTime t3 = events_.Now();
-        cpu_.Submit(config_.cost.attach_fixed_cycles, [this, hook, trace, t0,
-                                                       t3,
+        const auto attach_id = tracer_->BeginSpan("agent:attach", pid, tid);
+        cpu_.Submit(config_.cost.attach_fixed_cycles, [this, hook, trace,
+                                                       load_id, attach_id,
                                                        image = std::move(
                                                            image),
                                                        done = std::move(
@@ -206,6 +240,8 @@ void NodeAgent::LoadWasmFilter(
             }
             (void)symbol;
             if (!found) {
+              tracer_->EndSpan(attach_id);
+              tracer_->EndSpan(load_id);
               done(FailedPrecondition("unknown wasm import: " +
                                       reloc.import_name));
               return;
@@ -213,11 +249,15 @@ void NodeAgent::LoadWasmFilter(
           }
           Status attached = AttachImage(linked.Serialize(), hook);
           if (!attached.ok()) {
+            tracer_->EndSpan(attach_id);
+            tracer_->EndSpan(load_id);
             done(attached);
             return;
           }
-          trace->attach = events_.Now() - t3;
-          trace->total = events_.Now() - t0;
+          tracer_->EndSpan(attach_id);
+          tracer_->EndSpan(load_id);
+          trace->attach = tracer_->SpanDuration(attach_id);
+          trace->total = tracer_->SpanDuration(load_id);
           ++loads_completed_;
           done(*trace);
         });

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "bpf/verifier.h"
@@ -15,6 +16,7 @@
 #include "sim/cost_model.h"
 #include "sim/cpu.h"
 #include "sim/network.h"
+#include "telemetry/span.h"
 
 namespace rdx::agent {
 
@@ -26,7 +28,10 @@ struct AgentConfig {
   sim::Duration state_poll_interval = 0;
 };
 
-// Phase timings of one agent-side load, for the Fig 4b breakdown.
+// Phase timings of one agent-side load, for the Fig 4b breakdown. The
+// fields are populated from telemetry spans ("agent:queue" etc.) so the
+// legacy callback shape keeps working while the merged timeline gets the
+// same phases.
 struct AgentTrace {
   sim::Duration queue = 0;   // daemon wakeup + config parse
   sim::Duration verify = 0;
@@ -60,6 +65,12 @@ class NodeAgent {
   sim::CpuScheduler& cpu() { return cpu_; }
   std::uint64_t loads_completed() const { return loads_completed_; }
 
+  // Agent pipeline stages record telemetry spans (pid = node id, tid =
+  // hook). By default they land in an agent-owned tracer; point this at a
+  // shared one to merge agent loads into the global timeline.
+  void SetTracer(telemetry::Tracer* tracer) { tracer_ = tracer; }
+  telemetry::Tracer& tracer() { return *tracer_; }
+
  private:
   // Writes the image + desc into node memory with the local CPU and
   // swings the hook slot (coherent: visible immediately).
@@ -69,6 +80,8 @@ class NodeAgent {
   core::Sandbox& sandbox_;
   sim::CpuScheduler& cpu_;
   AgentConfig config_;
+  std::optional<telemetry::Tracer> owned_tracer_;
+  telemetry::Tracer* tracer_ = nullptr;
   bool polling_ = false;
   std::uint64_t loads_completed_ = 0;
 };

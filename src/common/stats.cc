@@ -27,6 +27,16 @@ double Summary::variance() const {
 
 double Summary::stddev() const { return std::sqrt(variance()); }
 
+std::string Summary::ToJson() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\": %llu, \"mean\": %.6g, \"min\": %.6g, "
+                "\"max\": %.6g, \"stddev\": %.6g}",
+                static_cast<unsigned long long>(count_), mean(), min(),
+                max(), stddev());
+  return buf;
+}
+
 Histogram::Histogram() : buckets_(64 << kSubBucketBits, 0) {}
 
 std::size_t Histogram::BucketIndex(std::uint64_t value) {
@@ -102,6 +112,21 @@ std::string Histogram::DebugString() const {
                 static_cast<unsigned long long>(Percentile(0.90)),
                 static_cast<unsigned long long>(Percentile(0.99)),
                 static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+std::string Histogram::ToJson() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"count\": %llu, \"mean\": %.3f, \"min\": %llu, \"p50\": %llu, "
+      "\"p90\": %llu, \"p99\": %llu, \"max\": %llu}",
+      static_cast<unsigned long long>(count_), mean(),
+      static_cast<unsigned long long>(min()),
+      static_cast<unsigned long long>(Percentile(0.50)),
+      static_cast<unsigned long long>(Percentile(0.90)),
+      static_cast<unsigned long long>(Percentile(0.99)),
+      static_cast<unsigned long long>(max_));
   return buf;
 }
 

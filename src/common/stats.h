@@ -20,6 +20,10 @@ class Summary {
   double variance() const;
   double stddev() const;
 
+  // JSON object, e.g. {"count": 3, "mean": 1.5, "min": 1.0, "max": 2.0,
+  // "stddev": 0.5} — consumed by the metrics registry snapshot.
+  std::string ToJson() const;
+
  private:
   std::uint64_t count_ = 0;
   double mean_ = 0.0;
@@ -50,6 +54,10 @@ class Histogram {
 
   // "count=… mean=… p50=… p99=… max=…" for harness output.
   std::string DebugString() const;
+
+  // JSON object with count/mean/min/p50/p90/p99/max — consumed by the
+  // metrics registry snapshot.
+  std::string ToJson() const;
 
  private:
   static constexpr int kSubBucketBits = 4;  // 16 sub-buckets per octave

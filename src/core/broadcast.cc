@@ -1,5 +1,7 @@
 #include "core/broadcast.h"
 
+#include <cstdio>
+
 namespace rdx::core {
 
 namespace {
@@ -258,6 +260,24 @@ void CollectiveCodeFlow::CommitAll(
           if (barrier != nullptr) {
             result.buffered_requests = barrier->BufferedCount();
             barrier->ReleaseBuffered();
+          }
+          if (cp_.tracer() != nullptr) {
+            // Waves render on the control plane's own pid, one lane per
+            // hook: the prepare fan-out, then the commit window that BBU
+            // buffering covers.
+            const std::uint32_t pid =
+                static_cast<std::uint32_t>(cp_.self());
+            const std::uint32_t tid = static_cast<std::uint32_t>(hook);
+            char args[96];
+            std::snprintf(args, sizeof(args),
+                          "\"nodes\": %zu, \"buffered\": %zu",
+                          result.nodes, result.buffered_requests);
+            cp_.tracer()->AddComplete("broadcast", pid, tid, t0,
+                                      result.total, args);
+            cp_.tracer()->AddComplete("broadcast:prepare", pid, tid, t0,
+                                      result.prepare_time);
+            cp_.tracer()->AddComplete("broadcast:commit_window", pid, tid,
+                                      *first_commit, result.commit_window);
           }
           done(result);
         };

@@ -1,6 +1,7 @@
 #include "core/codeflow.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/log.h"
 #include "core/gatekeeper.h"
@@ -180,6 +181,7 @@ void ControlPlane::Handshake(CodeFlow* flow,
     view.symtab_addr = word(kCbSymtabAddr);
     view.symtab_len = word(kCbSymtabLen);
     view.health_addr = word(kCbHealthAddr);
+    view.trace_addr = word(kCbTraceAddr);
 
     // Reboot detection on re-handshake: if we had deployed state but the
     // remote scratch allocator is back at its base, the node lost its
@@ -1425,13 +1427,14 @@ void ControlPlane::InjectExtension(
           Bytes wire = linked->Serialize();
           trace->image_bytes = wire.size();
           DeployImageBytes(flow, std::move(wire), hook, version,
-                           [done = std::move(done), trace, t0,
+                           [done = std::move(done), trace, t0, &flow, hook,
                             this](Status s2) mutable {
                              if (!s2.ok()) {
                                done(s2);
                                return;
                              }
                              trace->total = events_.Now() - t0;
+                             EmitInjectSpans(flow, hook, "ebpf", *trace);
                              done(*trace);
                            },
                            trace.get(), fp);
@@ -1479,19 +1482,127 @@ void ControlPlane::InjectWasmFilter(
                  trace->image_bytes = wire.size();
                  DeployImageBytes(flow, std::move(wire), hook,
                                   NextVersionFor(flow, hook),
-                                  [done = std::move(done), trace, t0,
-                                   this](Status s2) mutable {
+                                  [done = std::move(done), trace, t0, &flow,
+                                   hook, this](Status s2) mutable {
                                     if (!s2.ok()) {
                                       done(s2);
                                       return;
                                     }
                                     trace->total = events_.Now() - t0;
+                                    EmitInjectSpans(flow, hook, "wasm",
+                                                    *trace);
                                     done(*trace);
                                   },
                                   trace.get(), fp);
                });
     });
   });
+}
+
+// ---- telemetry -----------------------------------------------------------
+
+void ControlPlane::EmitInjectSpans(const CodeFlow& flow, int hook,
+                                   const char* kind,
+                                   const InjectTrace& trace) {
+  if (tracer_ == nullptr) return;
+  const std::uint32_t pid = static_cast<std::uint32_t>(flow.node_);
+  const std::uint32_t tid = static_cast<std::uint32_t>(hook);
+  const sim::SimTime end = events_.Now();
+  const sim::SimTime start = end - trace.total;
+  char args[160];
+  std::snprintf(args, sizeof(args),
+                "\"kind\": \"%s\", \"version\": %llu, "
+                "\"image_bytes\": %llu, \"cache_hit\": %s",
+                kind, static_cast<unsigned long long>(trace.version),
+                static_cast<unsigned long long>(trace.image_bytes),
+                trace.compile_cache_hit ? "true" : "false");
+  tracer_->AddComplete("inject", pid, tid, start, trace.total, args);
+  // The pipeline runs its phases back to back; lay them out sequentially
+  // from the start (the remainder up to `end` is dispatch overhead).
+  struct Phase {
+    const char* name;
+    sim::Duration dur;
+  };
+  const Phase phases[] = {
+      {"inject:validate", trace.validate}, {"inject:jit", trace.jit},
+      {"inject:xstate", trace.xstate},     {"inject:link", trace.link},
+      {"inject:transfer", trace.transfer}, {"inject:commit", trace.commit},
+  };
+  sim::SimTime t = start;
+  for (const Phase& phase : phases) {
+    if (phase.dur <= 0) continue;
+    tracer_->AddComplete(phase.name, pid, tid, t, phase.dur);
+    t += phase.dur;
+  }
+}
+
+telemetry::RingOps ControlPlane::RingOpsFor(CodeFlow& flow) {
+  telemetry::RingOps ops;
+  CodeFlow* f = &flow;
+  ops.read = [this, f](std::uint64_t addr, std::uint32_t len,
+                       std::function<void(StatusOr<Bytes>)> cb) {
+    auto buf = LocalScratch(len);
+    if (!buf.ok()) {
+      cb(buf.status());
+      return;
+    }
+    rdma::SendWr read;
+    read.opcode = rdma::Opcode::kRead;
+    read.local = {buf.value(), len, local_mr_.lkey};
+    read.remote_addr = addr;
+    read.rkey = f->rkey;
+    Post(*f, read, [this, buf = buf.value(), len, cb = std::move(cb)](
+                       const rdma::WorkCompletion& wc) mutable {
+      if (wc.status != rdma::WcStatus::kSuccess) {
+        cb(Unavailable("trace ring read failed"));
+        return;
+      }
+      Bytes raw(len);
+      (void)fabric_.node(self_).memory().Read(buf, raw);
+      cb(std::move(raw));
+    });
+  };
+  ops.fetch_add = [this, f](std::uint64_t addr, std::uint64_t delta,
+                            std::function<void(StatusOr<std::uint64_t>)> cb) {
+    auto landing = LocalScratch(8);
+    if (!landing.ok()) {
+      cb(landing.status());
+      return;
+    }
+    rdma::SendWr faa;
+    faa.opcode = rdma::Opcode::kFetchAdd;
+    faa.local = {landing.value(), 8, local_mr_.lkey};
+    faa.remote_addr = addr;
+    faa.rkey = f->rkey;
+    faa.compare_add = delta;
+    Post(*f, faa,
+         [cb = std::move(cb)](const rdma::WorkCompletion& wc) mutable {
+           if (wc.status != rdma::WcStatus::kSuccess) {
+             cb(Unavailable("trace ring cursor FETCH_ADD failed"));
+             return;
+           }
+           cb(wc.atomic_original);
+         });
+  };
+  return ops;
+}
+
+void ControlPlane::HarvestTrace(CodeFlow& flow,
+                                telemetry::Collector& collector, Done done) {
+  if (flow.remote_view_.trace_addr == 0) {
+    done(FailedPrecondition("remote sandbox publishes no trace ring"));
+    return;
+  }
+  collector.Harvest(RingOpsFor(flow), flow.remote_view_.trace_addr,
+                    static_cast<std::uint32_t>(flow.node_), std::move(done));
+}
+
+void ControlPlane::ExportMetrics(telemetry::MetricsRegistry& reg) const {
+  reg.SetCounter("cp.quarantines", quarantines_);
+  reg.SetCounter("cp.compile_cache_hits", cache_hits_);
+  reg.SetCounter("cp.compile_cache_misses", cache_misses_);
+  reg.SetCounter("cp.blacklisted_fingerprints", blacklist_.size());
+  reg.SetCounter("cp.codeflows", flows_.size());
 }
 
 void ControlPlane::Rollback(CodeFlow& flow, int hook, Done done) {
@@ -1639,7 +1750,8 @@ void ControlPlane::QuarantineHook(CodeFlow& flow, int hook,
   cas.rkey = flow.rkey;
   cas.compare_add = bad_desc;
   cas.swap = good_desc;
-  Post(flow, cas, [this, &flow, hook, bad_desc, good_desc,
+  const sim::SimTime started = events_.Now();
+  Post(flow, cas, [this, &flow, hook, bad_desc, good_desc, started,
                    done = std::move(done)](
                       const rdma::WorkCompletion& wc) mutable {
     if (wc.status != rdma::WcStatus::kSuccess) {
@@ -1655,13 +1767,15 @@ void ControlPlane::QuarantineHook(CodeFlow& flow, int hook,
       done(Aborted("hook slot changed under quarantine CAS"));
       return;
     }
-    FinishQuarantine(flow, hook, bad_desc, good_desc, std::move(done));
+    FinishQuarantine(flow, hook, bad_desc, good_desc, std::move(done),
+                     started);
   });
 }
 
 void ControlPlane::FinishQuarantine(CodeFlow& flow, int hook,
                                     std::uint64_t bad_desc,
-                                    std::uint64_t good_desc, Done done) {
+                                    std::uint64_t good_desc, Done done,
+                                    sim::SimTime started) {
   ++quarantines_;
   auto it = flow.hooks_.find(hook);
   if (it != flow.hooks_.end()) {
@@ -1695,7 +1809,8 @@ void ControlPlane::FinishQuarantine(CodeFlow& flow, int hook,
     faa.compare_add = 1;
     Post(flow, faa, [](const rdma::WorkCompletion&) {});
   }
-  auto finish = [this, &flow, hook, done = std::move(done)](Status s) mutable {
+  auto finish = [this, &flow, hook, bad_desc, good_desc, started,
+                 done = std::move(done)](Status s) mutable {
     if (!s.ok()) {
       done(s);
       return;
@@ -1703,6 +1818,17 @@ void ControlPlane::FinishQuarantine(CodeFlow& flow, int hook,
     auto it2 = flow.hooks_.find(hook);
     if (it2 != flow.hooks_.end()) {
       it2->second.version = flow.sandbox->CommittedVersion(hook);
+    }
+    if (tracer_ != nullptr) {
+      char args[96];
+      std::snprintf(args, sizeof(args),
+                    "\"bad_desc\": %llu, \"good_desc\": %llu",
+                    static_cast<unsigned long long>(bad_desc),
+                    static_cast<unsigned long long>(good_desc));
+      tracer_->AddComplete("quarantine",
+                           static_cast<std::uint32_t>(flow.node_),
+                           static_cast<std::uint32_t>(hook), started,
+                           events_.Now() - started, args);
     }
     done(OkStatus());
   };

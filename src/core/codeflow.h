@@ -39,6 +39,7 @@
 #include "rdma/fabric.h"
 #include "sim/cost_model.h"
 #include "sim/cpu.h"
+#include "telemetry/collector.h"
 #include "wasm/filter.h"
 
 namespace rdx::core {
@@ -294,9 +295,24 @@ class ControlPlane {
   bool IsBlacklisted(std::uint64_t fingerprint) const;
   std::uint64_t quarantines() const { return quarantines_; }
 
+  // ---- telemetry ----
+  // When set, the control plane records spans on the shared timeline:
+  // per-phase injection breakdowns, quarantine windows, broadcast waves.
+  void SetTracer(telemetry::Tracer* tracer) { tracer_ = tracer; }
+  telemetry::Tracer* tracer() { return tracer_; }
+  // Adapts this flow's QP into the one-sided verb surface the telemetry
+  // collector harvests through (READ + FETCH_ADD only).
+  telemetry::RingOps RingOpsFor(CodeFlow& flow);
+  // Convenience: harvest the flow's sandbox TraceRing into `collector`.
+  void HarvestTrace(CodeFlow& flow, telemetry::Collector& collector,
+                    Done done);
+  // Control-plane counters (quarantines, compile caches, flow count).
+  void ExportMetrics(telemetry::MetricsRegistry& reg) const;
+
   // ---- accessors ----
   sim::EventQueue& events() { return events_; }
   rdma::Fabric& fabric() { return fabric_; }
+  rdma::NodeId self() const { return self_; }
   const ControlPlaneConfig& config() const { return config_; }
   ControlPlaneConfig& mutable_config() { return config_; }
   sim::CpuScheduler& cpu() { return cpu_; }
@@ -336,9 +352,15 @@ class ControlPlane {
   // the old desc's refcount over RDMA and accounts the freed bytes.
   void ReclaimSupersededImages(CodeFlow& flow, int hook);
   // Tail of QuarantineHook once the slot is known contained: epoch bump,
-  // flush, blacklist + bookkeeping repair.
+  // flush, blacklist + bookkeeping repair. `started` is when the CAS was
+  // posted, so the recorded quarantine span covers the whole window.
   void FinishQuarantine(CodeFlow& flow, int hook, std::uint64_t bad_desc,
-                        std::uint64_t good_desc, Done done);
+                        std::uint64_t good_desc, Done done,
+                        sim::SimTime started);
+  // Retroactively records the per-phase spans of one completed injection
+  // from its InjectTrace deltas (walking back from the end time).
+  void EmitInjectSpans(const CodeFlow& flow, int hook, const char* kind,
+                       const InjectTrace& trace);
 
   sim::EventQueue& events_;
   rdma::Fabric& fabric_;
@@ -366,6 +388,8 @@ class ControlPlane {
   // cache so a blacklisted program is refused even if it verified before.
   std::unordered_set<std::uint64_t> blacklist_;
   std::uint64_t quarantines_ = 0;
+
+  telemetry::Tracer* tracer_ = nullptr;  // not owned; optional
 };
 
 // Fingerprint of a source program (pre-JIT), used for the verify/compile

@@ -19,6 +19,28 @@
 //     +0x58 symtab_len
 //     +0x60 doorbell         rdx_cc_event flush-trigger word
 //     +0x68 health_addr      -> HealthBlock[hook_count] runtime guardrails
+//     +0x70 trace_addr       -> TraceRing (telemetry; 0 = disabled)
+//
+//   TraceRing (64-aligned, RDMA-registered; the data-plane CPU produces
+//   fixed-size trace events into it wait-free, the control plane harvests
+//   them with one-sided READs and advances the consumer cursor with
+//   FETCH_ADD — the observability analogue of the HealthBlock design):
+//     +0x00 magic      "RDXTR\0\0\1"
+//     +0x08 capacity   slot count, power of two
+//     +0x10 head       producer cursor: absolute count of events ever
+//                      emitted (CPU-written; slot = seq % capacity)
+//     +0x18 tail       consumer cursor: absolute count of events
+//                      harvested (advanced remotely via FETCH_ADD only)
+//     +0x20 dropped    events overwritten before harvest (producer never
+//                      blocks; overflow overwrites the oldest slot)
+//     +0x40 slots      capacity * 32-byte TraceSlot entries
+//
+//   TraceSlot (32 bytes): the slot's absolute sequence number doubles as
+//   tear detection — a harvested slot whose seq does not equal its
+//   expected absolute index was torn or corrupted and is discarded with
+//   explicit loss accounting, never mis-parsed:
+//     +0x00 seq    +0x08 timestamp (virtual-clock ns)
+//     +0x10 meta   kind | tid<<8 | code<<16      +0x18 arg
 //
 //   HealthBlock (one per hook, 64-aligned array; the data-plane CPU
 //   updates these words on every execution, the control plane reads them
@@ -67,7 +89,24 @@ constexpr std::uint64_t kCbSymtabLen = 0x58;
 // Doorbell word targeted by rdx_cc_event's injected flush trigger.
 constexpr std::uint64_t kCbDoorbell = 0x60;
 constexpr std::uint64_t kCbHealthAddr = 0x68;
-constexpr std::uint64_t kControlBlockBytes = 0x70;
+constexpr std::uint64_t kCbTraceAddr = 0x70;
+constexpr std::uint64_t kControlBlockBytes = 0x78;
+
+// TraceRing header field offsets (at trace_addr) and slot geometry. The
+// telemetry subsystem (src/telemetry/) produces and harvests these; the
+// offsets live here because they are part of the wire contract.
+constexpr std::uint64_t kTraceRingMagic = 0x0100525458445221ULL;  // "!RDXTR\0\1"
+constexpr std::uint64_t kTrMagic = 0x00;
+constexpr std::uint64_t kTrCapacity = 0x08;
+constexpr std::uint64_t kTrHead = 0x10;
+constexpr std::uint64_t kTrTail = 0x18;
+constexpr std::uint64_t kTrDropped = 0x20;
+constexpr std::uint64_t kTraceRingHeaderBytes = 0x40;
+constexpr std::uint64_t kTsSeq = 0x00;
+constexpr std::uint64_t kTsTimestamp = 0x08;
+constexpr std::uint64_t kTsMeta = 0x10;
+constexpr std::uint64_t kTsArg = 0x18;
+constexpr std::uint64_t kTraceSlotBytes = 0x20;
 
 // HealthBlock field offsets (one block per hook at
 // health_addr + hook * kHealthBlockBytes).
@@ -114,6 +153,7 @@ struct ControlBlockView {
   std::uint64_t symtab_addr = 0;
   std::uint64_t symtab_len = 0;
   std::uint64_t health_addr = 0;
+  std::uint64_t trace_addr = 0;
 };
 
 // Symbol naming scheme shared by both ends. Helpers are exported as

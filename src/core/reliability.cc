@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <utility>
 
 #include "common/log.h"
@@ -360,6 +361,42 @@ void HealthMonitor::Inspect(WatchedFlow& wf, int hook, const HealthView& now,
         records_.push_back(std::move(rec));
         done();
       });
+}
+
+void HealthMonitor::ExportMetrics(telemetry::MetricsRegistry& reg) const {
+  reg.SetCounter("monitor.polls", polls_);
+  reg.SetCounter("monitor.detections", records_.size());
+  std::uint64_t quarantines = 0;
+  for (const QuarantineRecord& rec : records_) {
+    if (rec.quarantined) ++quarantines;
+  }
+  reg.SetCounter("monitor.quarantines", quarantines);
+  reg.SetCounter("monitor.watched_flows", watched_.size());
+  // Last harvested snapshot of every watched hook — the monitor's RDMA
+  // view of the remote HealthBlocks, which may lag the sandbox's own
+  // (local) counters by up to one poll period.
+  char key[96];
+  for (const WatchedFlow& wf : watched_) {
+    const unsigned node = wf.flow->node();
+    for (std::size_t h = 0; h < wf.snapshots.size(); ++h) {
+      const HealthView& hv = wf.snapshots[h].last;
+      if (hv.executions == 0 && hv.traps == 0 && hv.fuel_exhaustions == 0 &&
+          hv.failsafe_detaches == 0) {
+        continue;
+      }
+      std::snprintf(key, sizeof(key), "health.node%u.hook%zu.executions",
+                    node, h);
+      reg.SetCounter(key, hv.executions);
+      std::snprintf(key, sizeof(key), "health.node%u.hook%zu.traps", node, h);
+      reg.SetCounter(key, hv.traps);
+      std::snprintf(key, sizeof(key),
+                    "health.node%u.hook%zu.fuel_exhaustions", node, h);
+      reg.SetCounter(key, hv.fuel_exhaustions);
+      std::snprintf(key, sizeof(key),
+                    "health.node%u.hook%zu.failsafe_detaches", node, h);
+      reg.SetCounter(key, hv.failsafe_detaches);
+    }
+  }
 }
 
 }  // namespace rdx::core

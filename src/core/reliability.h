@@ -24,6 +24,7 @@
 
 #include "common/rng.h"
 #include "core/codeflow.h"
+#include "telemetry/metrics.h"
 
 namespace rdx::core {
 
@@ -138,6 +139,10 @@ class HealthMonitor {
   const std::vector<QuarantineRecord>& records() const { return records_; }
   std::uint64_t polls() const { return polls_; }
   const GuardrailPolicy& policy() const { return policy_; }
+
+  // Monitor-side counters plus the last harvested HealthBlock snapshot of
+  // every watched hook, under "monitor." / "health.node<n>.hook<k>.".
+  void ExportMetrics(telemetry::MetricsRegistry& reg) const;
 
  private:
   struct HookSnapshot {

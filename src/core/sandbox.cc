@@ -98,6 +98,16 @@ Status Sandbox::CtxInit() {
       view_.health_addr,
       mem.Allocate(config_.hook_count * kHealthBlockBytes, 64));
 
+  // TraceRing next, same reasoning: the collector harvests it one-sided,
+  // and a crash takes the unharvested tail with it.
+  if (config_.telemetry) {
+    RDX_ASSIGN_OR_RETURN(
+        view_.trace_addr,
+        mem.Allocate(
+            telemetry::TraceRingWriter::BytesFor(config_.trace_ring_slots),
+            64));
+  }
+
   RDX_ASSIGN_OR_RETURN(view_.scratch_addr,
                        mem.Allocate(config_.scratch_bytes, 4096));
   view_.scratch_size = config_.scratch_bytes;
@@ -134,9 +144,19 @@ Status Sandbox::PublishControlBlock() {
   RDX_RETURN_IF_ERROR(WriteWord(view_.cb_addr + kCbDoorbell, 0));
   RDX_RETURN_IF_ERROR(WriteWord(view_.cb_addr + kCbHealthAddr,
                                 view_.health_addr));
+  RDX_RETURN_IF_ERROR(WriteWord(view_.cb_addr + kCbTraceAddr,
+                                view_.trace_addr));
   // Fresh boot (or reboot) starts with clean health counters.
   Bytes health_zeros(view_.hook_count * kHealthBlockBytes, 0);
   RDX_RETURN_IF_ERROR(node_.memory().Write(view_.health_addr, health_zeros));
+  // ... and an empty trace ring with a fresh producer cursor.
+  if (view_.trace_addr != 0) {
+    RDX_RETURN_IF_ERROR(telemetry::TraceRingWriter::Format(
+        node_.memory(), view_.trace_addr, config_.trace_ring_slots));
+    trace_.emplace(node_.memory(), view_.trace_addr,
+                   config_.trace_ring_slots);
+    pending_trace_emits_ = 0;
+  }
   return OkStatus();
 }
 
@@ -181,6 +201,50 @@ void Sandbox::AccountReclaim(std::uint64_t bytes) {
   stats_.scratch_bytes_reclaimed += bytes;
 }
 
+void Sandbox::EmitTrace(telemetry::RingEventKind kind, int hook,
+                        std::uint16_t code, std::uint64_t arg) {
+  if (!trace_.has_value()) return;
+  trace_->Emit(kind, static_cast<std::uint8_t>(hook), code, events_.Now(),
+               arg);
+  ++pending_trace_emits_;
+}
+
+void Sandbox::ExportMetrics(telemetry::MetricsRegistry& reg,
+                            const std::string& prefix) const {
+  reg.SetCounter(prefix + ".executions", stats_.executions);
+  reg.SetCounter(prefix + ".empty_hook_executions",
+                 stats_.empty_hook_executions);
+  reg.SetCounter(prefix + ".torn_image_failures",
+                 stats_.torn_image_failures);
+  reg.SetCounter(prefix + ".signature_failures", stats_.signature_failures);
+  reg.SetCounter(prefix + ".refreshes", stats_.refreshes);
+  reg.SetCounter(prefix + ".traps", stats_.traps);
+  reg.SetCounter(prefix + ".fuel_exhaustions", stats_.fuel_exhaustions);
+  reg.SetCounter(prefix + ".failsafe_detaches", stats_.failsafe_detaches);
+  if (trace_.has_value()) {
+    reg.SetCounter(prefix + ".trace.emitted", trace_->emitted());
+    reg.SetCounter(prefix + ".trace.dropped", trace_->dropped());
+  }
+  telemetry::CaptureCacheMetrics(reg, cache_, prefix + ".cache");
+  // HealthBlock counters, per hook, read from the same words the control
+  // plane harvests over RDMA.
+  if (view_.health_addr != 0) {
+    for (std::uint32_t h = 0; h < view_.hook_count; ++h) {
+      const HealthView hv = ReadLocalHealth(static_cast<int>(h));
+      if (hv.executions == 0 && hv.traps == 0 && hv.fuel_exhaustions == 0 &&
+          hv.failsafe_detaches == 0) {
+        continue;
+      }
+      const std::string hp = prefix + ".hook" + std::to_string(h);
+      reg.SetCounter(hp + ".executions", hv.executions);
+      reg.SetCounter(hp + ".traps", hv.traps);
+      reg.SetCounter(hp + ".fuel_exhaustions", hv.fuel_exhaustions);
+      reg.SetCounter(hp + ".consecutive_failures", hv.consecutive_failures);
+      reg.SetCounter(hp + ".failsafe_detaches", hv.failsafe_detaches);
+    }
+  }
+}
+
 void Sandbox::RecordHookOutcome(int hook, const Status& outcome) {
   if (!config_.guardrails || view_.health_addr == 0) return;
   HookState& state = hooks_[hook];
@@ -201,9 +265,13 @@ void Sandbox::RecordHookOutcome(int hook, const Status& outcome) {
   if (outcome.code() == StatusCode::kResourceExhausted) {
     ++stats_.fuel_exhaustions;
     BumpHealth(hook, kHbFuelExhaustions, 1);
+    EmitTrace(telemetry::RingEventKind::kHookFuelExhausted, hook,
+              static_cast<std::uint16_t>(outcome.code()), 0);
   } else {
     ++stats_.traps;
     BumpHealth(hook, kHbTraps, 1);
+    EmitTrace(telemetry::RingEventKind::kHookTrap, hook,
+              static_cast<std::uint16_t>(outcome.code()), 0);
   }
   BumpHealth(hook, kHbConsecutiveFailures, 1);
   const auto consecutive = GetHealth(hook, kHbConsecutiveFailures);
@@ -224,6 +292,7 @@ void Sandbox::FailSafeDetach(int hook) {
   BumpHealth(hook, kHbFailsafeDetaches, 1);
   SetHealth(hook, kHbConsecutiveFailures, 0);
   ++stats_.failsafe_detaches;
+  EmitTrace(telemetry::RingEventKind::kFailsafeDetach, hook, 0, target);
   // The local CPU sees its own write immediately (agent-equivalent path).
   RefreshHookNow(hook);
 }
@@ -239,6 +308,8 @@ void Sandbox::Crash() {
   (void)mem.Write(begin, zeros);
   hooks_.assign(config_.hook_count, HookState{});
   rt_.maps.clear();
+  trace_.reset();
+  pending_trace_emits_ = 0;
   booted_ = false;
 }
 
@@ -314,6 +385,8 @@ void Sandbox::RefreshHookNow(int hook) {
       if (version.ok()) state.visible_version = version.value();
       state.refcount = 1;
     }
+    EmitTrace(telemetry::RingEventKind::kHookRefresh, hook, 0,
+              state.visible_version);
   } else if (slot.value() != 0) {
     // Same desc, possibly re-versioned in place (vanilla path).
     const auto version = ReadWord(slot.value() + kDescVersion);
@@ -321,6 +394,8 @@ void Sandbox::RefreshHookNow(int hook) {
       state.visible_version = version.value();
       state.ebpf_image.reset();
       state.wasm_image.reset();
+      EmitTrace(telemetry::RingEventKind::kHookRefresh, hook, 0,
+                state.visible_version);
     }
   }
   RefreshXState();
@@ -446,6 +521,10 @@ StatusOr<bpf::ExecResult> Sandbox::ExecuteHook(int hook, ByteSpan packet) {
   opts.stack_addr = stack_addr_;
   opts.insn_limit = config_.fuel_budget;
   auto result = bpf::RunJit(*state.ebpf_image, rt_, opts);
+  if (result.ok()) {
+    EmitTrace(telemetry::RingEventKind::kHookExecEbpf, hook, 0,
+              result->insns_executed);
+  }
   RecordHookOutcome(hook, result.ok() ? OkStatus() : result.status());
   return result;
 }
@@ -469,6 +548,10 @@ StatusOr<wasm::WasmResult> Sandbox::ExecuteWasmHook(int hook,
   }
   auto result =
       wasm::RunFilter(*state.wasm_image, host, config_.wasm_fuel_budget);
+  if (result.ok()) {
+    EmitTrace(telemetry::RingEventKind::kHookExecWasm, hook, 0,
+              result->insns_executed);
+  }
   RecordHookOutcome(hook, result.ok() ? OkStatus() : result.status());
   return result;
 }

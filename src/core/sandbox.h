@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +32,8 @@
 #include "rdma/fabric.h"
 #include "sim/cache.h"
 #include "sim/event_queue.h"
+#include "telemetry/metrics.h"
+#include "telemetry/ring.h"
 #include "wasm/filter.h"
 
 namespace rdx::core {
@@ -63,6 +66,12 @@ struct SandboxConfig {
   // Master switch for HealthBlock accounting + the fail-safe; exists so
   // bench/guardrail_overhead can measure the healthy-path cost.
   bool guardrails = true;
+  // ---- telemetry ----
+  // When on, CtxInit lays out a TraceRing after the HealthBlocks and the
+  // data plane emits fixed-size events into it (harvested agentlessly by
+  // telemetry::Collector). bench/telemetry_overhead measures the cost.
+  bool telemetry = true;
+  std::uint64_t trace_ring_slots = 1024;  // power of two
 };
 
 // Image type stored in an ImageDesc's flags word.
@@ -155,6 +164,26 @@ class Sandbox {
   bpf::RuntimeContext& runtime() { return rt_; }
   rdma::Node& node() { return node_; }
   std::uint32_t hook_count() const { return config_.hook_count; }
+  const sim::CacheModel& cache() const { return cache_; }
+
+  // ---- telemetry ----
+  // Trace-ring events emitted since the last drain. The data-path hosts
+  // (kvstore, mesh) drain this after each request and charge
+  // cost.trace_emit_cycles per event, so emit cost shows up in virtual
+  // time without the sandbox owning a CPU.
+  std::uint64_t DrainTraceEmits() {
+    const std::uint64_t n = pending_trace_emits_;
+    pending_trace_emits_ = 0;
+    return n;
+  }
+  // Producer-side ring counters (null when telemetry is off / pre-boot).
+  const telemetry::TraceRingWriter* trace_writer() const {
+    return trace_.has_value() ? &*trace_ : nullptr;
+  }
+  // Dumps SandboxStats + ring producer counters + cache-model counters
+  // under `prefix` (e.g. "node1.sandbox").
+  void ExportMetrics(telemetry::MetricsRegistry& reg,
+                     const std::string& prefix) const;
 
   // Local-CPU side of rdx_mutual_excl: try to take / release the sandbox
   // lock word (the control plane takes it via RDMA CAS).
@@ -183,6 +212,9 @@ class Sandbox {
   StatusOr<std::uint64_t> GetHealth(int hook, std::uint64_t field) const;
   void RecordHookOutcome(int hook, const Status& outcome);
   void FailSafeDetach(int hook);
+  // Wait-free trace-ring emit (no-op when telemetry is off).
+  void EmitTrace(telemetry::RingEventKind kind, int hook, std::uint16_t code,
+                 std::uint64_t arg);
   // Writes the control block words + symbol table (boot and reboot).
   Status PublishControlBlock();
   // Loads + decodes the image behind hook's visible desc into the cache.
@@ -204,6 +236,8 @@ class Sandbox {
   std::uint64_t stack_addr_ = 0;
   std::vector<HookState> hooks_;
   SandboxStats stats_;
+  std::optional<telemetry::TraceRingWriter> trace_;
+  std::uint64_t pending_trace_emits_ = 0;
 };
 
 }  // namespace rdx::core

@@ -95,6 +95,11 @@ rdma::FaultHook::WireFault FaultInjector::OnExecute(const rdma::QueuePair& qp,
       continue;
     }
     c.done = true;
+    {
+      char abuf[64];
+      std::snprintf(abuf, sizeof(abuf), "\"bytes\": %u", c.bytes);
+      Instant("corrupt", c.node, abuf);
+    }
     // Flip bytes in the front half of the payload: for deploy transfers
     // that is image data (the trailing descriptor would also be caught,
     // but the MAC-over-image path is the claim under test).
@@ -139,6 +144,10 @@ rdma::FaultHook::WireFault FaultInjector::OnExecute(const rdma::QueuePair& qp,
                   "t=%" PRId64 " drop qp=%u wr=%" PRIu64 " dst=%u", now,
                   qp.num(), wr.wr_id, qp.remote_node());
     Record(buf);
+    char abuf[64];
+    std::snprintf(abuf, sizeof(abuf), "\"qp\": %u, \"wr\": %" PRIu64,
+                  qp.num(), wr.wr_id);
+    Instant("drop", qp.remote_node(), abuf);
   }
   return fault;
 }
@@ -168,6 +177,9 @@ void FaultInjector::FireQpError(rdma::NodeId node) {
   std::snprintf(buf, sizeof(buf), "t=%" PRId64 " qp_error node=%u qps=%d",
                 events_.Now(), node, errored);
   Record(buf);
+  char abuf[32];
+  std::snprintf(abuf, sizeof(abuf), "\"qps\": %d", errored);
+  Instant("qp_error", node, abuf);
 }
 
 void FaultInjector::FireCrash(rdma::NodeId node, sim::Duration reboot_after) {
@@ -189,6 +201,7 @@ void FaultInjector::FireCrash(rdma::NodeId node, sim::Duration reboot_after) {
                 "t=%" PRId64 " crash node=%u qps=%d reboot_after=%" PRId64,
                 events_.Now(), node, errored, reboot_after);
   Record(buf);
+  Instant("crash", node);
   if (reboot_after > 0) {
     events_.ScheduleAfter(reboot_after, [this, node] { FireReboot(node); });
   }
@@ -202,6 +215,7 @@ void FaultInjector::FireReboot(rdma::NodeId node) {
   std::snprintf(buf, sizeof(buf), "t=%" PRId64 " reboot node=%u",
                 events_.Now(), node);
   Record(buf);
+  Instant("reboot", node);
 }
 
 void FaultInjector::FireRogue(rdma::NodeId node, int hook,
@@ -211,6 +225,10 @@ void FaultInjector::FireRogue(rdma::NodeId node, int hook,
   std::snprintf(buf, sizeof(buf), "t=%" PRId64 " rogue node=%u hook=%d kind=%s",
                 events_.Now(), node, hook, RogueFaultKindName(kind));
   Record(buf);
+  char abuf[64];
+  std::snprintf(abuf, sizeof(abuf), "\"hook\": %d, \"kind\": \"%s\"", hook,
+                RogueFaultKindName(kind));
+  Instant("rogue", node, abuf);
   auto it = node_hooks_.find(node);
   if (it != node_hooks_.end() && it->second.on_rogue) {
     it->second.on_rogue(hook, kind);
@@ -220,6 +238,16 @@ void FaultInjector::FireRogue(rdma::NodeId node, int hook,
 void FaultInjector::Record(std::string line) {
   RDX_DEBUG("fault: %s", line.c_str());
   trace_.push_back(std::move(line));
+}
+
+void FaultInjector::Instant(const char* kind, rdma::NodeId node,
+                            std::string args) {
+  if (tracer_ == nullptr) return;
+  tracer_->AddInstant(std::string("fault:") + kind,
+                      node == rdma::kInvalidNode
+                          ? 0u
+                          : static_cast<std::uint32_t>(node),
+                      /*tid=*/0, std::move(args));
 }
 
 }  // namespace rdx::fault

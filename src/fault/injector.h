@@ -18,6 +18,7 @@
 #include "fault/plan.h"
 #include "rdma/fabric.h"
 #include "sim/event_queue.h"
+#include "telemetry/span.h"
 
 namespace rdx::fault {
 
@@ -58,6 +59,10 @@ class FaultInjector final : public rdma::FaultHook {
   // seed and plan produce byte-identical traces.
   const std::vector<std::string>& trace() const { return trace_; }
 
+  // Optional timeline sink: injected faults show up as instant events
+  // ("fault:<kind>") on the affected node's pid in the merged trace.
+  void SetTracer(telemetry::Tracer* tracer) { tracer_ = tracer; }
+
   std::uint64_t faults_injected() const { return faults_injected_; }
   std::uint64_t completions_failed() const { return completions_failed_; }
 
@@ -78,6 +83,7 @@ class FaultInjector final : public rdma::FaultHook {
   void FireReboot(rdma::NodeId node);
   void FireRogue(rdma::NodeId node, int hook, RogueFaultKind kind);
   void Record(std::string line);
+  void Instant(const char* kind, rdma::NodeId node, std::string args = "");
 
   sim::EventQueue& events_;
   rdma::Fabric& fabric_;
@@ -96,6 +102,7 @@ class FaultInjector final : public rdma::FaultHook {
   std::unordered_map<rdma::NodeId, NodeHooks> node_hooks_;
 
   std::vector<std::string> trace_;
+  telemetry::Tracer* tracer_ = nullptr;
   std::uint64_t faults_injected_ = 0;
   std::uint64_t completions_failed_ = 0;
 };

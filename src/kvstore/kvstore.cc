@@ -105,6 +105,7 @@ KvStore::KvStore(sim::EventQueue& events, rdma::Node& node,
                                              config_.cost.cpu_hz);
   core::SandboxConfig sandbox_config;
   sandbox_config.seed = config_.seed;
+  sandbox_config.telemetry = config_.telemetry;
   sandbox_ = std::make_unique<core::Sandbox>(events_, node, sandbox_config);
   Status booted = sandbox_->CtxInit();
   (void)booted;
@@ -165,6 +166,10 @@ void KvStore::Execute(const Command& command,
       ++metrics_.extension_failures;
     }
   }
+  // Trace-ring emits ride on the request's CPU budget — this is where
+  // telemetry's data-plane cost becomes virtual time.
+  ext_cycles +=
+      config_.cost.trace_emit_cycles * sandbox_->DrainTraceEmits();
 
   cpu_->Submit(config_.cost.kv_request_cycles + ext_cycles,
                [this, command = decoded.value(), start,

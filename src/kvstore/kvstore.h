@@ -38,6 +38,9 @@ struct StoreConfig {
   // eBPF hook executed per command when attached (0 disables).
   int ebpf_hook = 0;
   bool run_extension = true;
+  // Forwarded to the sandbox: trace-ring telemetry on the hook path
+  // (bench/telemetry_overhead measures the on/off delta).
+  bool telemetry = true;
 };
 
 struct StoreMetrics {

@@ -150,6 +150,10 @@ void MeshSim::RunHop(std::shared_ptr<Request> request) {
       ext_cycles += config_.cost.ExtensionExecCycles(result->insns_executed);
     }
   }
+  // Trace-ring emits ride on the hop's CPU budget — this is where
+  // telemetry's data-plane cost becomes virtual time.
+  ext_cycles +=
+      config_.cost.trace_emit_cycles * service.sandbox->DrainTraceEmits();
 
   service.cpu->Submit(config_.cost.mesh_request_cycles + ext_cycles,
                       [this, request = std::move(request)]() mutable {

@@ -130,7 +130,7 @@ void Fabric::Execute(QueuePair& qp, const SendWr& wr) {
                                       wr.local.addr, payload);
     if (!s.ok()) {
       preflight.status = WcStatus::kLocalProtectionError;
-      Complete(qp, wr, preflight);
+      Complete(qp, wr, preflight, events_.Now());
       return;
     }
   }
@@ -154,12 +154,12 @@ void Fabric::Execute(QueuePair& qp, const SendWr& wr) {
     const sim::SimTime completion =
         std::max(now + kRetryExceededDelay, timing.last_completion);
     timing.last_completion = completion;
-    events_.ScheduleAt(completion, [this, &qp, wr]() {
+    events_.ScheduleAt(completion, [this, &qp, wr, now]() {
       OpOutcome dropped;
       dropped.status = qp.state() == QpState::kError
                            ? WcStatus::kWorkRequestFlushed
                            : WcStatus::kRetryExceeded;
-      Complete(qp, wr, dropped);
+      Complete(qp, wr, dropped, now);
     });
     return;
   }
@@ -178,7 +178,7 @@ void Fabric::Execute(QueuePair& qp, const SendWr& wr) {
   // response flight. Capture payload by value: the local buffer may be
   // reused by the caller after PostSend returns (RNIC semantics would
   // forbid that, but the copy makes the simulation robust).
-  events_.ScheduleAt(arrival, [this, &qp, wr,
+  events_.ScheduleAt(arrival, [this, &qp, wr, now,
                                payload = std::move(payload),
                                response]() mutable {
     if (qp.state() == QpState::kError) {
@@ -189,10 +189,10 @@ void Fabric::Execute(QueuePair& qp, const SendWr& wr) {
       const sim::SimTime flush_at =
           std::max(events_.Now(), t.last_completion);
       t.last_completion = flush_at;
-      events_.ScheduleAt(flush_at, [this, &qp, wr]() {
+      events_.ScheduleAt(flush_at, [this, &qp, wr, now]() {
         OpOutcome flushed;
         flushed.status = WcStatus::kWorkRequestFlushed;
-        Complete(qp, wr, flushed);
+        Complete(qp, wr, flushed, now);
       });
       return;
     }
@@ -216,8 +216,8 @@ void Fabric::Execute(QueuePair& qp, const SendWr& wr) {
     sim::SimTime completion =
         std::max(events_.Now() + response, t.last_completion);
     t.last_completion = completion;
-    events_.ScheduleAt(completion, [this, &qp, wr_copy, outcome]() {
-      Complete(qp, wr_copy, outcome);
+    events_.ScheduleAt(completion, [this, &qp, wr_copy, outcome, now]() {
+      Complete(qp, wr_copy, outcome, now);
     });
   });
 }
@@ -307,7 +307,7 @@ Fabric::OpOutcome Fabric::ApplyRemote(QueuePair& qp, const SendWr& wr,
 }
 
 void Fabric::Complete(QueuePair& qp, const SendWr& wr,
-                      const OpOutcome& outcome) {
+                      const OpOutcome& outcome, sim::SimTime posted_at) {
   Node& local = *nodes_.at(qp.node());
   WcStatus status = outcome.status;
 
@@ -330,6 +330,26 @@ void Fabric::Complete(QueuePair& qp, const SendWr& wr,
     RDX_DEBUG("QP %u op %d failed: %s", qp.num(),
               static_cast<int>(wr.opcode), WcStatusName(status));
     qp.SetError();
+  }
+
+  QpStats& stats = qp_stats_[qp.num()];
+  ++stats.ops;
+  ++stats.ops_by_opcode[static_cast<int>(wr.opcode)];
+  stats.latency_ns.Add(static_cast<std::uint64_t>(events_.Now() - posted_at));
+  if (status != WcStatus::kSuccess) {
+    ++stats.failures;
+  } else {
+    switch (wr.opcode) {
+      case Opcode::kWrite:
+      case Opcode::kSend:
+        stats.bytes_out += outcome.byte_len;
+        break;
+      case Opcode::kRead:
+      case Opcode::kCompareSwap:
+      case Opcode::kFetchAdd:
+        stats.bytes_in += outcome.byte_len;
+        break;
+    }
   }
 
   if (fault_hook_ != nullptr) fault_hook_->OnComplete(qp, wr, status);

@@ -8,8 +8,10 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/stats.h"
 #include "common/status.h"
 #include "rdma/cq.h"
 #include "rdma/fault_hook.h"
@@ -79,6 +81,21 @@ class Fabric {
   std::uint64_t ops_executed() const { return ops_executed_; }
   std::uint64_t bytes_written() const { return bytes_written_; }
 
+  // Per-QP accounting, recorded when the completion is delivered (so a
+  // flushed WR still counts, with its flush latency). Indexed by opcode
+  // in enum order: write, read, send, compare-swap, fetch-add.
+  struct QpStats {
+    std::uint64_t ops = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t bytes_out = 0;
+    std::uint64_t bytes_in = 0;
+    std::uint64_t ops_by_opcode[5] = {0, 0, 0, 0, 0};
+    Histogram latency_ns;  // post-to-completion, virtual ns
+  };
+  const std::unordered_map<QpNum, QpStats>& qp_stats() const {
+    return qp_stats_;
+  }
+
  private:
   struct OpOutcome {
     WcStatus status = WcStatus::kSuccess;
@@ -91,7 +108,8 @@ class Fabric {
 
   // Applies the remote-side effect of `wr` at arrival time.
   OpOutcome ApplyRemote(QueuePair& qp, const SendWr& wr, const Bytes& payload);
-  void Complete(QueuePair& qp, const SendWr& wr, const OpOutcome& outcome);
+  void Complete(QueuePair& qp, const SendWr& wr, const OpOutcome& outcome,
+                sim::SimTime posted_at);
 
   sim::EventQueue& events_;
   sim::LinkModel link_;
@@ -109,6 +127,7 @@ class Fabric {
     sim::SimTime last_completion = 0;
   };
   std::unordered_map<QpNum, QpTiming> qp_timing_;
+  std::unordered_map<QpNum, QpStats> qp_stats_;
 };
 
 }  // namespace rdx::rdma

@@ -19,6 +19,7 @@ Duration CacheModel::ExpectedDiscoveryDelay(double cpki) const {
 }
 
 Duration CacheModel::SampleDiscoveryDelay(double cpki, Rng& rng) const {
+  ++discovery_samples_;
   const Duration mean = ExpectedDiscoveryDelay(cpki);
   const double sample = rng.NextExponential(static_cast<double>(mean));
   return std::min<Duration>(static_cast<Duration>(sample), Millis(10));

@@ -51,12 +51,21 @@ class CacheModel {
   Duration SampleDiscoveryDelay(double cpki, Rng& rng) const;
 
   // Visibility delay when the control plane issues rdx_cc_event().
-  Duration FlushDelay() const { return config_.flush_latency; }
+  Duration FlushDelay() const {
+    ++flushes_;
+    return config_.flush_latency;
+  }
 
   const CacheConfig& config() const { return config_; }
 
+  // Telemetry counters: how often each visibility path was exercised.
+  std::uint64_t flushes() const { return flushes_; }
+  std::uint64_t discovery_samples() const { return discovery_samples_; }
+
  private:
   CacheConfig config_;
+  mutable std::uint64_t flushes_ = 0;
+  mutable std::uint64_t discovery_samples_ = 0;
 };
 
 }  // namespace rdx::sim

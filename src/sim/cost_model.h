@@ -56,6 +56,11 @@ struct CostModel {
   std::uint64_t mesh_request_cycles = 68'000;
   // One KV-store GET/SET (RESP parse + hash lookup), ~2 us of CPU.
   std::uint64_t kv_request_cycles = 6'800;
+  // One trace-ring emit on the data path: four uncontended stores into an
+  // L1-resident ring slot plus a cursor load, ~7 ns. Charged per event the
+  // sandbox emits while serving a request; keeps telemetry under the 2%
+  // overhead budget for the smallest profiled extensions (~1.3K insns).
+  std::uint64_t trace_emit_cycles = 24;
   // Periodic agent XState polling tax per poll: dumping a populated map
   // through the syscall interface (one call per entry) plus telemetry
   // serialization, ~4 ms for a 10K-entry map. Calibrated so a 20 ms poll

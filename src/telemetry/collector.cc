@@ -1,0 +1,236 @@
+#include "telemetry/collector.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "core/layout.h"
+
+namespace rdx::telemetry {
+
+struct Collector::HarvestPass {
+  RingOps ops;
+  std::uint64_t trace_addr = 0;
+  std::uint32_t pid = 0;
+  std::function<void(Status)> done;
+
+  std::uint64_t capacity = 0;
+  std::uint64_t head = 0;
+  std::uint64_t tail = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t start = 0;  // first absolute slot index still recoverable
+  Bytes first_chunk;
+  Bytes second_chunk;
+};
+
+namespace {
+
+RingEvent DecodeSlot(const std::uint8_t* p) {
+  RingEvent ev;
+  ev.seq = LoadLE<std::uint64_t>(p + core::kTsSeq);
+  ev.ts = static_cast<sim::SimTime>(
+      LoadLE<std::uint64_t>(p + core::kTsTimestamp));
+  UnpackRingMeta(LoadLE<std::uint64_t>(p + core::kTsMeta), ev.kind, ev.tid,
+                 ev.code);
+  ev.arg = LoadLE<std::uint64_t>(p + core::kTsArg);
+  return ev;
+}
+
+}  // namespace
+
+void Collector::Harvest(const RingOps& ops, std::uint64_t trace_addr,
+                        std::uint32_t pid,
+                        std::function<void(Status)> done) {
+  auto pass = std::make_shared<HarvestPass>();
+  pass->ops = ops;
+  pass->trace_addr = trace_addr;
+  pass->pid = pid;
+  pass->done = std::move(done);
+
+  ops.read(trace_addr, core::kTraceRingHeaderBytes,
+           [this, pass](StatusOr<Bytes> header) {
+    if (!header.ok()) {
+      ++stats_.failed_reads;
+      pass->done(header.status());
+      return;
+    }
+    const std::uint8_t* h = header.value().data();
+    if (LoadLE<std::uint64_t>(h + core::kTrMagic) != core::kTraceRingMagic) {
+      pass->done(FailedPrecondition("trace ring magic mismatch"));
+      return;
+    }
+    pass->capacity = LoadLE<std::uint64_t>(h + core::kTrCapacity);
+    pass->head = LoadLE<std::uint64_t>(h + core::kTrHead);
+    pass->tail = LoadLE<std::uint64_t>(h + core::kTrTail);
+    if (pass->capacity == 0 ||
+        (pass->capacity & (pass->capacity - 1)) != 0) {
+      pass->done(FailedPrecondition("trace ring capacity corrupt"));
+      return;
+    }
+    const std::uint64_t avail = pass->head - pass->tail;
+    if (avail == 0) {
+      ++stats_.harvests;
+      pass->done(OkStatus());
+      return;
+    }
+    // Producer overrun: everything in [tail, head - capacity) has been
+    // overwritten. Recoverable slots start at head - capacity.
+    pass->start = pass->tail;
+    if (avail > pass->capacity) {
+      pass->lost = avail - pass->capacity;
+      pass->start = pass->head - pass->capacity;
+    }
+
+    const std::uint64_t mask = pass->capacity - 1;
+    const std::uint64_t count = pass->head - pass->start;
+    const std::uint64_t first_idx = pass->start & mask;
+    const std::uint64_t first_len =
+        std::min(count, pass->capacity - first_idx);
+    const std::uint64_t second_len = count - first_len;
+    const std::uint64_t slots = pass->trace_addr + core::kTraceRingHeaderBytes;
+
+    // The occupied region is at most two contiguous chunks of the slot
+    // array; read them back-to-back, then commit.
+    pass->ops.read(
+        slots + first_idx * core::kTraceSlotBytes,
+        static_cast<std::uint32_t>(first_len * core::kTraceSlotBytes),
+        [this, pass, slots, second_len](StatusOr<Bytes> chunk) {
+      if (!chunk.ok()) {
+        ++stats_.failed_reads;
+        pass->done(chunk.status());
+        return;
+      }
+      pass->first_chunk = std::move(chunk).value();
+      if (second_len == 0) {
+        Commit(pass);
+        return;
+      }
+      pass->ops.read(
+          slots,
+          static_cast<std::uint32_t>(second_len * core::kTraceSlotBytes),
+          [this, pass](StatusOr<Bytes> wrap) {
+        if (!wrap.ok()) {
+          ++stats_.failed_reads;
+          pass->done(wrap.status());
+          return;
+        }
+        pass->second_chunk = std::move(wrap).value();
+        Commit(pass);
+      });
+    });
+  });
+}
+
+void Collector::Commit(const std::shared_ptr<HarvestPass>& pass) {
+  // Decode and validate before touching the cursor. A slot whose seq is
+  // not the expected absolute index was being overwritten while the READ
+  // was in flight: skip it, count it, never merge it.
+  std::vector<RingEvent> decoded;
+  const std::uint64_t count = pass->head - pass->start;
+  decoded.reserve(count);
+  std::uint64_t torn = 0;
+  const std::uint64_t first_slots =
+      pass->first_chunk.size() / core::kTraceSlotBytes;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint8_t* p =
+        i < first_slots
+            ? pass->first_chunk.data() + i * core::kTraceSlotBytes
+            : pass->second_chunk.data() +
+                  (i - first_slots) * core::kTraceSlotBytes;
+    RingEvent ev = DecodeSlot(p);
+    if (ev.seq != pass->start + i) {
+      ++torn;
+      continue;
+    }
+    decoded.push_back(ev);
+  }
+
+  // One FETCH_ADD retires everything observed (including the overwritten
+  // span). Events merge only after it succeeds: an aborted pass leaves
+  // head - tail intact so the next harvest re-reads the same slots.
+  const std::uint64_t delta = pass->head - pass->tail;
+  pass->ops.fetch_add(
+      pass->trace_addr + core::kTrTail, delta,
+      [this, pass, decoded = std::move(decoded),
+       torn](StatusOr<std::uint64_t> prior) {
+    if (!prior.ok()) {
+      ++stats_.failed_reads;
+      pass->done(prior.status());
+      return;
+    }
+    ++stats_.harvests;
+    stats_.torn += torn;
+    stats_.overwritten += pass->lost;
+    stats_.events += decoded.size();
+    if (pass->lost > 0) {
+      char args[48];
+      std::snprintf(args, sizeof(args), "\"lost\": %llu",
+                    static_cast<unsigned long long>(pass->lost));
+      tracer_.AddInstantAt("ring_overwrite", pass->pid, 0,
+                           decoded.empty() ? tracer_.events_queue().Now()
+                                           : decoded.front().ts,
+                           args);
+    }
+    for (const RingEvent& ev : decoded) {
+      AppendEvent(pass->pid, ev);
+    }
+    pass->done(OkStatus());
+  });
+}
+
+void Collector::AppendEvent(std::uint32_t pid, const RingEvent& ev) {
+  char args[96];
+  switch (ev.kind) {
+    case RingEventKind::kHookExecEbpf:
+    case RingEventKind::kHookExecWasm: {
+      // The emit records retired instructions; reconstruct the span length
+      // from the same cost model the data path was charged with.
+      const std::uint64_t cycles = cost_.ExtensionExecCycles(ev.arg);
+      const sim::Duration dur = static_cast<sim::Duration>(
+          static_cast<double>(cycles) / cost_.cpu_hz * 1e9);
+      std::snprintf(args, sizeof(args), "\"insns\": %llu, \"seq\": %llu",
+                    static_cast<unsigned long long>(ev.arg),
+                    static_cast<unsigned long long>(ev.seq));
+      tracer_.AddComplete(RingEventKindName(ev.kind), pid, ev.tid, ev.ts,
+                          dur, args);
+      return;
+    }
+    case RingEventKind::kHookTrap:
+      std::snprintf(args, sizeof(args), "\"status\": \"%.*s\"",
+                    static_cast<int>(
+                        StatusCodeName(static_cast<StatusCode>(ev.code))
+                            .size()),
+                    StatusCodeName(static_cast<StatusCode>(ev.code)).data());
+      break;
+    case RingEventKind::kHookFuelExhausted:
+      std::snprintf(args, sizeof(args), "\"fuel_arg\": %llu",
+                    static_cast<unsigned long long>(ev.arg));
+      break;
+    case RingEventKind::kFailsafeDetach:
+      std::snprintf(args, sizeof(args), "\"reverted_desc\": %llu",
+                    static_cast<unsigned long long>(ev.arg));
+      break;
+    case RingEventKind::kHookRefresh:
+      std::snprintf(args, sizeof(args), "\"version\": %llu",
+                    static_cast<unsigned long long>(ev.arg));
+      break;
+    case RingEventKind::kNone:
+    default:
+      args[0] = '\0';
+      break;
+  }
+  tracer_.AddInstantAt(RingEventKindName(ev.kind), pid, ev.tid, ev.ts,
+                       args);
+}
+
+void Collector::ExportMetrics(MetricsRegistry& reg) const {
+  reg.SetCounter("telemetry.harvests", stats_.harvests);
+  reg.SetCounter("telemetry.events", stats_.events);
+  reg.SetCounter("telemetry.overwritten", stats_.overwritten);
+  reg.SetCounter("telemetry.torn", stats_.torn);
+  reg.SetCounter("telemetry.failed_reads", stats_.failed_reads);
+}
+
+}  // namespace rdx::telemetry

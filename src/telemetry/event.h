@@ -1,0 +1,82 @@
+// Telemetry event vocabulary. Two representations exist:
+//
+//   RingEvent      the 32-byte wire form the data-plane CPU writes into a
+//                  sandbox's TraceRing (core/layout.h owns the offsets) —
+//                  fixed-size, virtual-clock timestamped, harvested
+//                  one-sided by the control plane;
+//   TimelineEvent  the merged CPU-side form everything converges to —
+//                  control-plane spans, harvested ring events, fault
+//                  instants, counter samples — and the unit the
+//                  chrome://tracing exporter consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace rdx::telemetry {
+
+// Ring event kinds (fits the low byte of the slot's meta word).
+enum class RingEventKind : std::uint8_t {
+  kNone = 0,
+  kHookExecEbpf = 1,    // arg = insns_executed
+  kHookExecWasm = 2,    // arg = insns_executed
+  kHookTrap = 3,        // code = StatusCode of the failure
+  kHookFuelExhausted = 4,
+  kFailsafeDetach = 5,  // arg = desc the hook was reverted to
+  kHookRefresh = 6,     // cache invalidate/discovery; arg = visible version
+};
+
+inline const char* RingEventKindName(RingEventKind kind) {
+  switch (kind) {
+    case RingEventKind::kNone: return "none";
+    case RingEventKind::kHookExecEbpf: return "hook_exec:ebpf";
+    case RingEventKind::kHookExecWasm: return "hook_exec:wasm";
+    case RingEventKind::kHookTrap: return "hook_trap";
+    case RingEventKind::kHookFuelExhausted: return "fuel_exhausted";
+    case RingEventKind::kFailsafeDetach: return "failsafe_detach";
+    case RingEventKind::kHookRefresh: return "hook_refresh";
+  }
+  return "unknown";
+}
+
+// Decoded view of one TraceRing slot.
+struct RingEvent {
+  std::uint64_t seq = 0;
+  sim::SimTime ts = 0;
+  RingEventKind kind = RingEventKind::kNone;
+  std::uint8_t tid = 0;   // hook index
+  std::uint16_t code = 0;
+  std::uint64_t arg = 0;
+};
+
+inline std::uint64_t PackRingMeta(RingEventKind kind, std::uint8_t tid,
+                                  std::uint16_t code) {
+  return static_cast<std::uint64_t>(kind) |
+         (static_cast<std::uint64_t>(tid) << 8) |
+         (static_cast<std::uint64_t>(code) << 16);
+}
+
+inline void UnpackRingMeta(std::uint64_t meta, RingEventKind& kind,
+                           std::uint8_t& tid, std::uint16_t& code) {
+  kind = static_cast<RingEventKind>(meta & 0xff);
+  tid = static_cast<std::uint8_t>((meta >> 8) & 0xff);
+  code = static_cast<std::uint16_t>((meta >> 16) & 0xffff);
+}
+
+// One merged-timeline event, in Trace Event Format terms: 'X' = complete
+// span (ts + dur), 'i' = instant, 'C' = counter sample. pid is a node id
+// (the control plane's own node included), tid a hook/QP/phase lane.
+struct TimelineEvent {
+  std::string name;
+  char ph = 'X';
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  sim::SimTime ts = 0;
+  sim::Duration dur = 0;
+  // Raw JSON object body for "args" (without the braces), may be empty.
+  std::string args;
+};
+
+}  // namespace rdx::telemetry

@@ -1,0 +1,91 @@
+#include "telemetry/metrics.h"
+
+#include <cstdio>
+
+namespace rdx::telemetry {
+
+namespace {
+// Indexed by rdma::Opcode enum order.
+constexpr const char* kOpcodeNames[5] = {"write", "read", "send", "cas",
+                                         "faa"};
+}  // namespace
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    out += first ? "" : ", ";
+    out += "\"" + name + "\": " + buf;
+    first = false;
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    out += first ? "" : ", ";
+    out += "\"" + name + "\": " + buf;
+    first = false;
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : hists_) {
+    out += first ? "" : ", ";
+    out += "\"" + name + "\": " + hist.ToJson();
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+void CaptureFabricMetrics(MetricsRegistry& reg, const rdma::Fabric& fabric) {
+  reg.SetCounter("rdma.ops_executed", fabric.ops_executed());
+  reg.SetCounter("rdma.bytes_written", fabric.bytes_written());
+
+  std::uint64_t total_ops = 0, total_failures = 0;
+  Histogram merged;
+  for (const auto& [num, stats] : fabric.qp_stats()) {
+    char prefix[32];
+    std::snprintf(prefix, sizeof(prefix), "rdma.qp%u", num);
+    const std::string p = prefix;
+    reg.SetCounter(p + ".ops", stats.ops);
+    reg.SetCounter(p + ".failures", stats.failures);
+    reg.SetCounter(p + ".bytes_out", stats.bytes_out);
+    reg.SetCounter(p + ".bytes_in", stats.bytes_in);
+    for (int op = 0; op < 5; ++op) {
+      if (stats.ops_by_opcode[op] == 0) continue;
+      reg.SetCounter(p + ".ops." + kOpcodeNames[op],
+                     stats.ops_by_opcode[op]);
+    }
+    reg.SetHist(p + ".latency_ns", stats.latency_ns);
+    total_ops += stats.ops;
+    total_failures += stats.failures;
+    merged.Merge(stats.latency_ns);
+  }
+  reg.SetCounter("rdma.completions", total_ops);
+  reg.SetCounter("rdma.failures", total_failures);
+  reg.SetHist("rdma.latency_ns", merged);
+}
+
+void CaptureCacheMetrics(MetricsRegistry& reg, const sim::CacheModel& cache,
+                         const std::string& prefix) {
+  reg.SetCounter(prefix + ".flushes", cache.flushes());
+  reg.SetCounter(prefix + ".discovery_samples", cache.discovery_samples());
+}
+
+void EmitFabricCounterEvents(Tracer& tracer, const rdma::Fabric& fabric) {
+  tracer.AddCounter("rdma.ops_executed", 0,
+                    static_cast<double>(fabric.ops_executed()));
+  tracer.AddCounter("rdma.bytes_written", 0,
+                    static_cast<double>(fabric.bytes_written()));
+  for (const auto& [num, stats] : fabric.qp_stats()) {
+    char name[48];
+    std::snprintf(name, sizeof(name), "rdma.qp%u.ops", num);
+    tracer.AddCounter(name, 0, static_cast<double>(stats.ops));
+  }
+}
+
+}  // namespace rdx::telemetry

@@ -1,0 +1,40 @@
+#include "telemetry/ring.h"
+
+namespace rdx::telemetry {
+
+Status TraceRingWriter::Format(rdma::HostMemory& mem, std::uint64_t addr,
+                               std::uint64_t capacity) {
+  if (capacity == 0 || (capacity & (capacity - 1)) != 0) {
+    return InvalidArgument("trace ring capacity must be a power of two");
+  }
+  Bytes zeros(BytesFor(capacity), 0);
+  RDX_RETURN_IF_ERROR(mem.Write(addr, zeros));
+  RDX_RETURN_IF_ERROR(
+      mem.WriteU64(addr + core::kTrMagic, core::kTraceRingMagic));
+  return mem.WriteU64(addr + core::kTrCapacity, capacity);
+}
+
+void TraceRingWriter::Emit(RingEventKind kind, std::uint8_t tid,
+                           std::uint16_t code, sim::SimTime ts,
+                           std::uint64_t arg) {
+  // Overwrite-oldest on overflow: the collector reconstructs the loss
+  // from the head/tail gap, but the producer keeps its own count in the
+  // header so a harvest that never happens still leaves evidence.
+  const auto tail = mem_.ReadU64(addr_ + core::kTrTail);
+  if (tail.ok() && head_ - tail.value() >= capacity_) {
+    ++dropped_;
+    (void)mem_.WriteU64(addr_ + core::kTrDropped, dropped_);
+  }
+  const std::uint64_t slot =
+      addr_ + core::kTraceRingHeaderBytes +
+      (head_ & (capacity_ - 1)) * core::kTraceSlotBytes;
+  (void)mem_.WriteU64(slot + core::kTsSeq, head_);
+  (void)mem_.WriteU64(slot + core::kTsTimestamp,
+                      static_cast<std::uint64_t>(ts));
+  (void)mem_.WriteU64(slot + core::kTsMeta, PackRingMeta(kind, tid, code));
+  (void)mem_.WriteU64(slot + core::kTsArg, arg);
+  ++head_;
+  (void)mem_.WriteU64(addr_ + core::kTrHead, head_);
+}
+
+}  // namespace rdx::telemetry

@@ -1,0 +1,54 @@
+// Producer side of a sandbox's TraceRing (wire contract in
+// core/layout.h). The writer is the only data-plane-CPU code in the
+// telemetry subsystem and is wait-free by construction: an emit is a
+// handful of stores plus one load of the (remotely advanced) tail cursor;
+// when the ring is full the oldest unharvested slot is overwritten and
+// counted in the header's dropped word — the data path never blocks on
+// the collector.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/layout.h"
+#include "rdma/memory.h"
+#include "telemetry/event.h"
+
+namespace rdx::telemetry {
+
+class TraceRingWriter {
+ public:
+  // Total bytes a ring of `capacity` slots occupies (header + slots).
+  static std::uint64_t BytesFor(std::uint64_t capacity) {
+    return core::kTraceRingHeaderBytes + capacity * core::kTraceSlotBytes;
+  }
+
+  // Initializes the header + zeroes the slots at `addr`. `capacity` must
+  // be a power of two.
+  static Status Format(rdma::HostMemory& mem, std::uint64_t addr,
+                       std::uint64_t capacity);
+
+  // Attaches to an already-formatted ring. The writer caches the producer
+  // cursor, so exactly one writer may exist per ring (SPSC).
+  TraceRingWriter(rdma::HostMemory& mem, std::uint64_t addr,
+                  std::uint64_t capacity)
+      : mem_(mem), addr_(addr), capacity_(capacity) {}
+
+  // Wait-free emit. Memory failures are swallowed: telemetry must never
+  // fault the data path.
+  void Emit(RingEventKind kind, std::uint8_t tid, std::uint16_t code,
+            sim::SimTime ts, std::uint64_t arg);
+
+  std::uint64_t emitted() const { return head_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t ring_addr() const { return addr_; }
+
+ private:
+  rdma::HostMemory& mem_;
+  std::uint64_t addr_;
+  std::uint64_t capacity_;
+  std::uint64_t head_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace rdx::telemetry

@@ -1,0 +1,86 @@
+#include "telemetry/span.h"
+
+#include <cstdio>
+
+namespace rdx::telemetry {
+
+Tracer::SpanId Tracer::BeginSpan(std::string name, std::uint32_t pid,
+                                 std::uint32_t tid) {
+  TimelineEvent ev;
+  ev.name = std::move(name);
+  ev.ph = 'X';
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts = events_.Now();
+  ev.dur = 0;
+  events_list_.push_back(std::move(ev));
+  return events_list_.size() - 1;
+}
+
+void Tracer::EndSpan(SpanId id) {
+  if (id >= events_list_.size()) return;
+  TimelineEvent& ev = events_list_[id];
+  ev.dur = events_.Now() - ev.ts;
+}
+
+sim::Duration Tracer::SpanDuration(SpanId id) const {
+  if (id >= events_list_.size()) return 0;
+  return events_list_[id].dur;
+}
+
+void Tracer::AddComplete(std::string name, std::uint32_t pid,
+                         std::uint32_t tid, sim::SimTime ts,
+                         sim::Duration dur, std::string args) {
+  TimelineEvent ev;
+  ev.name = std::move(name);
+  ev.ph = 'X';
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts = ts;
+  ev.dur = dur;
+  ev.args = std::move(args);
+  events_list_.push_back(std::move(ev));
+}
+
+void Tracer::AddInstant(std::string name, std::uint32_t pid,
+                        std::uint32_t tid, std::string args) {
+  AddInstantAt(std::move(name), pid, tid, events_.Now(), std::move(args));
+}
+
+void Tracer::AddInstantAt(std::string name, std::uint32_t pid,
+                          std::uint32_t tid, sim::SimTime ts,
+                          std::string args) {
+  TimelineEvent ev;
+  ev.name = std::move(name);
+  ev.ph = 'i';
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts = ts;
+  ev.args = std::move(args);
+  events_list_.push_back(std::move(ev));
+}
+
+void Tracer::AddCounter(std::string name, std::uint32_t pid, double value) {
+  TimelineEvent ev;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"value\": %.3f", value);
+  ev.name = std::move(name);
+  ev.ph = 'C';
+  ev.pid = pid;
+  ev.tid = 0;
+  ev.ts = events_.Now();
+  ev.args = buf;
+  events_list_.push_back(std::move(ev));
+}
+
+void Tracer::SetProcessName(std::uint32_t pid, std::string name) {
+  for (auto& [p, n] : process_names_) {
+    if (p == pid) {
+      n = std::move(name);
+      return;
+    }
+  }
+  process_names_.emplace_back(pid, std::move(name));
+}
+
+}  // namespace rdx::telemetry

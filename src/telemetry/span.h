@@ -1,0 +1,64 @@
+// CPU-side span recording: the one merged timeline every telemetry
+// source converges into. Control-plane phases and agent pipeline stages
+// record scoped spans directly (Begin/End around async callbacks); the
+// Collector appends harvested data-plane ring events; the fault injector
+// appends instants. The chrome://tracing exporter consumes the result.
+//
+// Recording is bookkeeping only — it charges no virtual time. The
+// data-plane emitters (telemetry/ring.h) are the cost-modeled path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "telemetry/event.h"
+
+namespace rdx::telemetry {
+
+class Tracer {
+ public:
+  using SpanId = std::size_t;
+
+  explicit Tracer(sim::EventQueue& events) : events_(events) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Opens a span at Now(); EndSpan stamps its duration. Begin/End pairs
+  // may interleave freely (async pipelines), the id disambiguates.
+  SpanId BeginSpan(std::string name, std::uint32_t pid, std::uint32_t tid);
+  void EndSpan(SpanId id);
+  // Duration of an ended span (0 while still open) — lets callers that
+  // keep legacy phase-timing structs populate them from the span data.
+  sim::Duration SpanDuration(SpanId id) const;
+
+  // Pre-timed events (harvested ring events, back-computed phases).
+  void AddComplete(std::string name, std::uint32_t pid, std::uint32_t tid,
+                   sim::SimTime ts, sim::Duration dur, std::string args = "");
+  void AddInstant(std::string name, std::uint32_t pid, std::uint32_t tid,
+                  std::string args = "");
+  void AddInstantAt(std::string name, std::uint32_t pid, std::uint32_t tid,
+                    sim::SimTime ts, std::string args = "");
+  // Counter sample ('C' event): one series per name/pid.
+  void AddCounter(std::string name, std::uint32_t pid, double value);
+
+  // Human-readable process name for a pid, emitted as trace metadata.
+  void SetProcessName(std::uint32_t pid, std::string name);
+
+  const std::vector<TimelineEvent>& events() const { return events_list_; }
+  const std::vector<std::pair<std::uint32_t, std::string>>& process_names()
+      const {
+    return process_names_;
+  }
+  sim::EventQueue& events_queue() { return events_; }
+  void Clear() { events_list_.clear(); }
+
+ private:
+  sim::EventQueue& events_;
+  std::vector<TimelineEvent> events_list_;
+  std::vector<std::pair<std::uint32_t, std::string>> process_names_;
+};
+
+}  // namespace rdx::telemetry

@@ -1,0 +1,96 @@
+#include "telemetry/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+namespace rdx::telemetry {
+
+namespace {
+
+void EscapeInto(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+void AppendEvent(std::string& out, const TimelineEvent& ev) {
+  char buf[128];
+  out += "{\"name\": \"";
+  EscapeInto(out, ev.name);
+  // TEF timestamps are microseconds; keep ns precision as fractions.
+  std::snprintf(buf, sizeof(buf),
+                "\", \"ph\": \"%c\", \"pid\": %u, \"tid\": %u, "
+                "\"ts\": %.3f",
+                ev.ph, ev.pid, ev.tid,
+                static_cast<double>(ev.ts) / 1000.0);
+  out += buf;
+  if (ev.ph == 'X') {
+    std::snprintf(buf, sizeof(buf), ", \"dur\": %.3f",
+                  static_cast<double>(ev.dur) / 1000.0);
+    out += buf;
+  }
+  if (ev.ph == 'i') {
+    out += ", \"s\": \"t\"";  // thread-scoped instant
+  }
+  if (!ev.args.empty()) {
+    out += ", \"args\": {" + ev.args + "}";
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const Tracer& tracer) {
+  const auto& events = tracer.events();
+  std::vector<std::size_t> order(events.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&events](std::size_t a, std::size_t b) {
+                     return events[a].ts < events[b].ts;
+                   });
+
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const auto& [pid, name] : tracer.process_names()) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\": \"process_name\", \"ph\": \"M\", "
+                  "\"pid\": %u, \"args\": {\"name\": \"",
+                  pid);
+    out += first ? "" : ",\n";
+    out += buf;
+    EscapeInto(out, name);
+    out += "\"}}";
+    first = false;
+  }
+  for (std::size_t idx : order) {
+    out += first ? "" : ",\n";
+    AppendEvent(out, events[idx]);
+    first = false;
+  }
+  out += "], \"displayTimeUnit\": \"ns\"}";
+  return out;
+}
+
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Internal("cannot open trace file: " + path);
+  }
+  const std::string json = ToChromeTraceJson(tracer);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Internal("short write to trace file: " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace rdx::telemetry

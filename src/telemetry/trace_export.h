@@ -1,0 +1,22 @@
+// Trace Event Format (chrome://tracing / Perfetto "JSON object format")
+// exporter for the merged telemetry timeline. Load the output via
+// chrome://tracing "Load" or ui.perfetto.dev "Open trace file".
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "telemetry/span.h"
+
+namespace rdx::telemetry {
+
+// Renders {"traceEvents": [...], "displayTimeUnit": "ns"}. Events are
+// sorted by timestamp; virtual-clock ns become fractional TEF µs.
+// process_name metadata ('M' events) is emitted for every pid named via
+// Tracer::SetProcessName.
+std::string ToChromeTraceJson(const Tracer& tracer);
+
+// Writes the JSON to `path` (for loading into chrome://tracing).
+Status WriteChromeTrace(const Tracer& tracer, const std::string& path);
+
+}  // namespace rdx::telemetry

@@ -75,6 +75,30 @@ TEST(NodeAgentPipeline, TraceCoversAllPhases) {
             0.6 * static_cast<double>(trace.total));
 }
 
+TEST(NodeAgentPipeline, TraceFieldsComeFromTelemetrySpans) {
+  Node n;
+  bpf::Program prog = bpf::GenerateProgram({.target_insns = 1300, .seed = 1});
+  AgentTrace trace = n.Load(prog);
+
+  // The legacy AgentTrace fields are populated from the span timeline,
+  // so the same phases must exist there with identical durations.
+  sim::Duration queue = 0, verify = 0, jit = 0, attach = 0, total = 0;
+  for (const auto& ev : n.agent->tracer().events()) {
+    if (ev.name == "agent:queue") queue = ev.dur;
+    if (ev.name == "agent:verify") verify = ev.dur;
+    if (ev.name == "agent:jit") jit = ev.dur;
+    if (ev.name == "agent:attach") attach = ev.dur;
+    if (ev.name == "agent:load") total = ev.dur;
+    EXPECT_EQ(ev.pid, static_cast<std::uint32_t>(n.node->id()));
+  }
+  EXPECT_EQ(queue, trace.queue);
+  EXPECT_EQ(verify, trace.verify);
+  EXPECT_EQ(jit, trace.jit);
+  EXPECT_EQ(attach, trace.attach);
+  EXPECT_EQ(total, trace.total);
+  EXPECT_GT(total, 0);
+}
+
 TEST(NodeAgentPipeline, LoadTimeGrowsWithProgramSize) {
   Node n;
   const AgentTrace small = n.Load(

@@ -242,6 +242,58 @@ TEST(Bytes, Fnv1aMatchesKnownVector) {
   EXPECT_EQ(Fnv1a64(ByteSpan{}), 0xcbf29ce484222325ull);
 }
 
+TEST(Stats, SummaryToJsonCarriesAllFields) {
+  Summary s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Add(3.0);
+  const std::string json = s.ToJson();
+  EXPECT_NE(json.find("\"count\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mean\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"min\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"stddev\": 1"), std::string::npos) << json;
+}
+
+TEST(Stats, HistogramToJsonCarriesPercentiles) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.Add(v);
+  const std::string json = h.ToJson();
+  EXPECT_NE(json.find("\"count\": 100"), std::string::npos) << json;
+  for (const char* key : {"\"mean\"", "\"min\"", "\"p50\"", "\"p90\"",
+                          "\"p99\"", "\"max\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << json;
+  }
+}
+
+TEST(Stats, HistogramMergePreservesSmallerMin) {
+  // Regression guard: merging a histogram whose min is larger must not
+  // clobber the destination's smaller min (and vice versa).
+  Histogram small;
+  small.Add(5);
+  Histogram large;
+  large.Add(1000);
+  small.Merge(large);
+  EXPECT_EQ(small.count(), 2u);
+  EXPECT_EQ(small.min(), 5u);
+  EXPECT_EQ(small.max(), 1000u);
+
+  Histogram other;
+  other.Add(2000);
+  other.Merge(small);
+  EXPECT_EQ(other.min(), 5u);
+  EXPECT_EQ(other.max(), 2000u);
+
+  // Merging an empty histogram changes nothing.
+  Histogram empty;
+  other.Merge(empty);
+  EXPECT_EQ(other.min(), 5u);
+  Histogram into_empty;
+  into_empty.Merge(small);
+  EXPECT_EQ(into_empty.min(), 5u);
+  EXPECT_EQ(into_empty.count(), 2u);
+}
+
 TEST(Bytes, FnvSensitiveToEveryByte) {
   Bytes data(64, 0);
   const std::uint64_t base = Fnv1a64(data);

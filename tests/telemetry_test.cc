@@ -1,0 +1,602 @@
+// Telemetry subsystem tests: trace-ring wire contract (format, emit,
+// wraparound, producer-side drop accounting), the collector's one-sided
+// harvest (merge, overrun loss accounting, torn-slot skip, abort-on-
+// failed-READ leaves the ring untouched), harvest through the control
+// plane under injected READ faults, the chrome://tracing exporter
+// (syntactic JSON validity + monotonic timestamps), the metrics
+// registry, and the agent pipeline's span migration.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bpf/assembler.h"
+#include "core/codeflow.h"
+#include "core/layout.h"
+#include "fault/injector.h"
+#include "telemetry/collector.h"
+#include "telemetry/metrics.h"
+#include "telemetry/ring.h"
+#include "telemetry/trace_export.h"
+
+namespace rdx {
+namespace {
+
+using core::CodeFlow;
+using core::ControlPlane;
+using core::Sandbox;
+using core::SandboxConfig;
+using telemetry::Collector;
+using telemetry::MetricsRegistry;
+using telemetry::RingEventKind;
+using telemetry::RingOps;
+using telemetry::Tracer;
+using telemetry::TraceRingWriter;
+
+// ---- ring producer: wire contract ----
+
+TEST(TraceRing, FormatAndEmitFollowWireContract) {
+  rdma::HostMemory mem(1 << 20);
+  const std::uint64_t addr = mem.Allocate(TraceRingWriter::BytesFor(8)).value();
+  ASSERT_TRUE(TraceRingWriter::Format(mem, addr, 8).ok());
+  EXPECT_EQ(mem.ReadU64(addr + core::kTrMagic).value(), core::kTraceRingMagic);
+  EXPECT_EQ(mem.ReadU64(addr + core::kTrCapacity).value(), 8u);
+
+  TraceRingWriter writer(mem, addr, 8);
+  writer.Emit(RingEventKind::kHookExecEbpf, /*tid=*/3, /*code=*/0,
+              /*ts=*/1234, /*arg=*/77);
+  EXPECT_EQ(writer.emitted(), 1u);
+  EXPECT_EQ(mem.ReadU64(addr + core::kTrHead).value(), 1u);
+  EXPECT_EQ(mem.ReadU64(addr + core::kTrTail).value(), 0u);
+  EXPECT_EQ(mem.ReadU64(addr + core::kTrDropped).value(), 0u);
+
+  const std::uint64_t slot0 = addr + core::kTraceRingHeaderBytes;
+  EXPECT_EQ(mem.ReadU64(slot0 + core::kTsSeq).value(), 0u);
+  EXPECT_EQ(mem.ReadU64(slot0 + core::kTsTimestamp).value(), 1234u);
+  EXPECT_EQ(mem.ReadU64(slot0 + core::kTsArg).value(), 77u);
+  RingEventKind kind;
+  std::uint8_t tid;
+  std::uint16_t code;
+  telemetry::UnpackRingMeta(mem.ReadU64(slot0 + core::kTsMeta).value(), kind,
+                            tid, code);
+  EXPECT_EQ(kind, RingEventKind::kHookExecEbpf);
+  EXPECT_EQ(tid, 3u);
+  EXPECT_EQ(code, 0u);
+}
+
+TEST(TraceRing, RejectsNonPowerOfTwoCapacity) {
+  rdma::HostMemory mem(1 << 20);
+  const std::uint64_t addr = mem.Allocate(4096).value();
+  EXPECT_FALSE(TraceRingWriter::Format(mem, addr, 12).ok());
+  EXPECT_FALSE(TraceRingWriter::Format(mem, addr, 0).ok());
+}
+
+TEST(TraceRing, OverflowOverwritesOldestAndCountsDrops) {
+  rdma::HostMemory mem(1 << 20);
+  const std::uint64_t addr = mem.Allocate(TraceRingWriter::BytesFor(8)).value();
+  ASSERT_TRUE(TraceRingWriter::Format(mem, addr, 8).ok());
+  TraceRingWriter writer(mem, addr, 8);
+  for (int i = 0; i < 20; ++i) {
+    writer.Emit(RingEventKind::kHookExecEbpf, 0, 0, i, i);
+  }
+  // Wait-free overwrite: all 20 landed, the 12 beyond capacity each
+  // clobbered the oldest unharvested slot and were counted.
+  EXPECT_EQ(writer.emitted(), 20u);
+  EXPECT_EQ(writer.dropped(), 12u);
+  EXPECT_EQ(mem.ReadU64(addr + core::kTrHead).value(), 20u);
+  EXPECT_EQ(mem.ReadU64(addr + core::kTrDropped).value(), 12u);
+  // The surviving window is the last `capacity` events: slot (19 & 7)
+  // holds seq 19.
+  const std::uint64_t newest =
+      addr + core::kTraceRingHeaderBytes + (19 & 7) * core::kTraceSlotBytes;
+  EXPECT_EQ(mem.ReadU64(newest + core::kTsSeq).value(), 19u);
+}
+
+// ---- collector: harvest semantics over a local ring ----
+
+// One-sided verb surface backed directly by a HostMemory, standing in for
+// the RDMA path so harvest semantics are testable in isolation.
+RingOps DirectOps(rdma::HostMemory& mem) {
+  RingOps ops;
+  ops.read = [&mem](std::uint64_t addr, std::uint32_t len,
+                    std::function<void(StatusOr<Bytes>)> done) {
+    Bytes out(len);
+    Status s = mem.Read(addr, MutableByteSpan(out.data(), out.size()));
+    if (!s.ok()) {
+      done(s);
+    } else {
+      done(std::move(out));
+    }
+  };
+  ops.fetch_add = [&mem](std::uint64_t addr, std::uint64_t delta,
+                         std::function<void(StatusOr<std::uint64_t>)> done) {
+    auto prior = mem.ReadU64(addr);
+    if (!prior.ok()) {
+      done(prior.status());
+      return;
+    }
+    ASSERT_TRUE(mem.WriteU64(addr, prior.value() + delta).ok());
+    done(prior.value());
+  };
+  return ops;
+}
+
+struct LocalRing {
+  sim::EventQueue events;
+  rdma::HostMemory mem{1 << 20};
+  std::uint64_t addr = 0;
+  Tracer tracer{events};
+  Collector collector{tracer};
+
+  explicit LocalRing(std::uint64_t capacity) {
+    addr = mem.Allocate(TraceRingWriter::BytesFor(capacity)).value();
+    EXPECT_TRUE(TraceRingWriter::Format(mem, addr, capacity).ok());
+  }
+
+  Status Harvest(RingOps ops = {}) {
+    if (!ops.read) ops = DirectOps(mem);
+    Status result = InvalidArgument("never completed");
+    collector.Harvest(ops, addr, /*pid=*/1,
+                      [&result](Status s) { result = s; });
+    return result;
+  }
+
+  std::uint64_t Tail() { return mem.ReadU64(addr + core::kTrTail).value(); }
+};
+
+TEST(Collector, HarvestMergesEventsAndAdvancesTail) {
+  LocalRing ring(16);
+  TraceRingWriter writer(ring.mem, ring.addr, 16);
+  for (int i = 0; i < 5; ++i) {
+    writer.Emit(RingEventKind::kHookExecEbpf, /*tid=*/2, 0,
+                /*ts=*/100 * (i + 1), /*arg=*/50);
+  }
+  ASSERT_TRUE(ring.Harvest().ok());
+  EXPECT_EQ(ring.collector.stats().harvests, 1u);
+  EXPECT_EQ(ring.collector.stats().events, 5u);
+  EXPECT_EQ(ring.collector.stats().overwritten, 0u);
+  EXPECT_EQ(ring.Tail(), 5u);
+
+  // Hook executions become 'X' spans whose length comes from the cost
+  // model, in emit order, on the hook's tid lane.
+  ASSERT_EQ(ring.tracer.events().size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto& ev = ring.tracer.events()[i];
+    EXPECT_EQ(ev.name, "hook_exec:ebpf");
+    EXPECT_EQ(ev.ph, 'X');
+    EXPECT_EQ(ev.pid, 1u);
+    EXPECT_EQ(ev.tid, 2u);
+    EXPECT_EQ(ev.ts, static_cast<sim::SimTime>(100 * (i + 1)));
+    EXPECT_GT(ev.dur, 0);
+  }
+
+  // A second pass over the drained ring merges nothing.
+  ASSERT_TRUE(ring.Harvest().ok());
+  EXPECT_EQ(ring.collector.stats().harvests, 2u);
+  EXPECT_EQ(ring.collector.stats().events, 5u);
+  EXPECT_EQ(ring.tracer.events().size(), 5u);
+}
+
+TEST(Collector, ProducerOverrunIsAccountedAsLossNotCorruption) {
+  LocalRing ring(8);
+  TraceRingWriter writer(ring.mem, ring.addr, 8);
+  for (int i = 0; i < 20; ++i) {
+    writer.Emit(RingEventKind::kHookExecEbpf, 0, 0, /*ts=*/i + 1, /*arg=*/1);
+  }
+  ASSERT_TRUE(ring.Harvest().ok());
+  // Only the newest `capacity` slots were recoverable; the 12 lost ones
+  // are surfaced, not silently skipped.
+  EXPECT_EQ(ring.collector.stats().events, 8u);
+  EXPECT_EQ(ring.collector.stats().overwritten, 12u);
+  EXPECT_EQ(ring.Tail(), 20u);
+
+  bool saw_overwrite_instant = false;
+  for (const auto& ev : ring.tracer.events()) {
+    if (ev.name == "ring_overwrite") {
+      saw_overwrite_instant = true;
+      EXPECT_EQ(ev.ph, 'i');
+      EXPECT_NE(ev.args.find("\"lost\": 12"), std::string::npos) << ev.args;
+    }
+  }
+  EXPECT_TRUE(saw_overwrite_instant);
+}
+
+TEST(Collector, TornSlotIsSkippedAndCountedNeverMerged) {
+  LocalRing ring(16);
+  TraceRingWriter writer(ring.mem, ring.addr, 16);
+  for (int i = 0; i < 4; ++i) {
+    writer.Emit(RingEventKind::kHookExecEbpf, 0, 0, /*ts=*/i + 1, /*arg=*/1);
+  }
+  // Scribble slot 2's seq word: the collector must treat it as
+  // mid-overwrite (its seq no longer matches the expected absolute
+  // index) and drop it without merging garbage.
+  const std::uint64_t slot2 =
+      ring.addr + core::kTraceRingHeaderBytes + 2 * core::kTraceSlotBytes;
+  ASSERT_TRUE(ring.mem.WriteU64(slot2 + core::kTsSeq, 9999).ok());
+
+  ASSERT_TRUE(ring.Harvest().ok());
+  EXPECT_EQ(ring.collector.stats().events, 3u);
+  EXPECT_EQ(ring.collector.stats().torn, 1u);
+  EXPECT_EQ(ring.Tail(), 4u);
+  for (const auto& ev : ring.tracer.events()) {
+    EXPECT_NE(ev.ts, 3) << "torn slot leaked into the timeline";
+  }
+}
+
+TEST(Collector, FailedReadAbortsPassAndLeavesRingUntouched) {
+  LocalRing ring(16);
+  TraceRingWriter writer(ring.mem, ring.addr, 16);
+  for (int i = 0; i < 6; ++i) {
+    writer.Emit(RingEventKind::kHookExecEbpf, 0, 0, /*ts=*/i + 1, /*arg=*/1);
+  }
+
+  // Fail the second READ (the slot chunk), after the header succeeded:
+  // the pass must abort without advancing the tail or appending events.
+  int reads = 0;
+  RingOps flaky = DirectOps(ring.mem);
+  auto real_read = flaky.read;
+  flaky.read = [&reads, real_read](std::uint64_t addr, std::uint32_t len,
+                                   std::function<void(StatusOr<Bytes>)> done) {
+    if (++reads == 2) {
+      done(Unavailable("RETRY_EXC_ERR"));
+      return;
+    }
+    real_read(addr, len, std::move(done));
+  };
+  EXPECT_FALSE(ring.Harvest(flaky).ok());
+  EXPECT_EQ(ring.collector.stats().failed_reads, 1u);
+  EXPECT_EQ(ring.collector.stats().events, 0u);
+  EXPECT_EQ(ring.Tail(), 0u);
+  EXPECT_TRUE(ring.tracer.events().empty());
+
+  // The next (healthy) pass re-reads the same slots: nothing was lost or
+  // duplicated by the failure.
+  ASSERT_TRUE(ring.Harvest().ok());
+  EXPECT_EQ(ring.collector.stats().events, 6u);
+  EXPECT_EQ(ring.Tail(), 6u);
+}
+
+// ---- end-to-end: control plane + sandbox + fault injector ----
+
+bpf::Program SumProgram() {
+  std::string src = "r0 = 0\n";
+  for (int i = 1; i <= 20; ++i) src += "r0 += " + std::to_string(i) + "\n";
+  src += "exit\n";
+  bpf::Program prog;
+  prog.name = "sum";
+  auto insns = bpf::Assemble(src);
+  EXPECT_TRUE(insns.ok()) << insns.status().ToString();
+  prog.insns = std::move(insns).value();
+  return prog;
+}
+
+struct TelemetryRig {
+  sim::EventQueue events;
+  rdma::Fabric fabric{events};
+  std::unique_ptr<ControlPlane> cp;
+  std::unique_ptr<fault::FaultInjector> injector;
+  std::unique_ptr<Sandbox> sandbox;
+  CodeFlow* flow = nullptr;
+  Tracer tracer{events};
+
+  TelemetryRig() {
+    const rdma::NodeId cp_id = fabric.AddNode("cp", 128u << 20).id();
+    cp = std::make_unique<ControlPlane>(events, fabric, cp_id);
+    cp->SetTracer(&tracer);
+    injector = std::make_unique<fault::FaultInjector>(events, fabric);
+    injector->SetTracer(&tracer);
+    SandboxConfig config;
+    config.trace_ring_slots = 64;
+    rdma::Node& node = fabric.AddNode("n0");
+    sandbox = std::make_unique<Sandbox>(events, node, config);
+    EXPECT_TRUE(sandbox->CtxInit().ok());
+    auto reg = sandbox->CtxRegister();
+    EXPECT_TRUE(reg.ok());
+    cp->CreateCodeFlow(*sandbox, reg.value(), [this](StatusOr<CodeFlow*> f) {
+      ASSERT_TRUE(f.ok()) << f.status().ToString();
+      flow = f.value();
+    });
+    events.Run();
+    EXPECT_NE(flow, nullptr);
+  }
+
+  void Deploy(int hook) {
+    bool done = false;
+    cp->InjectExtension(*flow, SumProgram(), hook,
+                        [&](StatusOr<core::InjectTrace> r) {
+                          ASSERT_TRUE(r.ok()) << r.status().ToString();
+                          done = true;
+                        });
+    events.Run();
+    ASSERT_TRUE(done);
+    sandbox->RefreshHookNow(hook);
+  }
+
+  void RunHook(int hook, int n) {
+    Bytes packet(4, 0);
+    for (int i = 0; i < n; ++i) {
+      events.ScheduleAfter(sim::Micros(1), [] {});
+      events.Run();
+      ASSERT_TRUE(sandbox->ExecuteHook(hook, packet).ok());
+    }
+  }
+
+  Status Harvest(Collector& collector) {
+    Status result = InvalidArgument("never completed");
+    cp->HarvestTrace(*flow, collector, [&result](Status s) { result = s; });
+    events.Run();
+    return result;
+  }
+};
+
+// Minimal JSON syntax checker (objects, arrays, strings, numbers,
+// true/false/null) — enough to prove the exporter's output parses.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // {
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // [
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      pos_ += s_[pos_] == '\\' ? 2 : 1;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;
+    return true;
+  }
+  bool Number() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Literal(const char* lit) {
+    const std::size_t len = std::string(lit).size();
+    if (s_.compare(pos_, len, lit) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(TelemetryE2E, OneTimelineCoversSpansRingEventsFaultsAndCounters) {
+  TelemetryRig rig;
+  rig.tracer.SetProcessName(static_cast<std::uint32_t>(rig.cp->self()),
+                            "control-plane");
+  rig.Deploy(0);
+  rig.RunHook(0, 5);
+
+  Collector collector(rig.tracer);
+  ASSERT_TRUE(rig.Harvest(collector).ok());
+  EXPECT_GE(collector.stats().events, 5u);
+
+  // A fault instant lands on the same timeline (armed after the harvest
+  // so the QP it kills is no longer needed).
+  char plan[96];
+  std::snprintf(plan, sizeof(plan), "qp_error node=%u at=%lld\n",
+                rig.sandbox->node().id(),
+                static_cast<long long>(rig.events.Now() + 1000));
+  auto parsed = fault::ParseFaultPlan(plan);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(rig.injector->Arm(parsed.value()).ok());
+  rig.events.Run();
+
+  telemetry::EmitFabricCounterEvents(rig.tracer, rig.fabric);
+
+  // Every source is present in the merged timeline.
+  bool saw_inject = false, saw_phase = false, saw_exec = false;
+  bool saw_fault = false, saw_counter = false;
+  for (const auto& ev : rig.tracer.events()) {
+    saw_inject |= ev.name == "inject";
+    saw_phase |= ev.name == "inject:transfer";
+    saw_exec |= ev.name == "hook_exec:ebpf";
+    saw_fault |= ev.name == "fault:qp_error";
+    saw_counter |= ev.ph == 'C';
+  }
+  EXPECT_TRUE(saw_inject);
+  EXPECT_TRUE(saw_phase);
+  EXPECT_TRUE(saw_exec);
+  EXPECT_TRUE(saw_fault);
+  EXPECT_TRUE(saw_counter);
+
+  // The export is syntactically valid JSON with monotonically
+  // non-decreasing timestamps (the exporter sorts, so this holds for
+  // every tid lane too).
+  const std::string json = telemetry::ToChromeTraceJson(rig.tracer);
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  double last_ts = -1.0;
+  std::size_t ts_count = 0;
+  for (std::size_t at = json.find("\"ts\": "); at != std::string::npos;
+       at = json.find("\"ts\": ", at + 6)) {
+    const double ts = std::strtod(json.c_str() + at + 6, nullptr);
+    EXPECT_GE(ts, last_ts) << "timestamps regress at offset " << at;
+    last_ts = ts;
+    ++ts_count;
+  }
+  EXPECT_EQ(ts_count, rig.tracer.events().size());
+}
+
+TEST(TelemetryE2E, HarvestUnderReadFaultsAccountsLossThenRecovers) {
+  TelemetryRig rig;
+  rig.Deploy(0);
+  rig.RunHook(0, 8);
+  const std::uint64_t emitted = rig.sandbox->trace_writer()->emitted();
+  ASSERT_GE(emitted, 8u);
+
+  // Drop every WR for a window covering the harvest: the header READ
+  // fails, the pass aborts, the ring is untouched.
+  char plan[128];
+  std::snprintf(plan, sizeof(plan), "drop node=%u at=%lld for=50us p=1\n",
+                rig.sandbox->node().id(),
+                static_cast<long long>(rig.events.Now()));
+  auto parsed = fault::ParseFaultPlan(plan);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(rig.injector->Arm(parsed.value()).ok());
+
+  Collector collector(rig.tracer);
+  EXPECT_FALSE(rig.Harvest(collector).ok());
+  EXPECT_GE(collector.stats().failed_reads, 1u);
+  EXPECT_EQ(collector.stats().events, 0u);
+
+  // Heal: wait out the window, reconnect the errored QP, harvest again.
+  // Every emitted event arrives exactly once — the failed pass neither
+  // lost nor duplicated anything.
+  rig.events.ScheduleAfter(sim::Micros(100), [] {});
+  rig.events.Run();
+  bool reconnected = false;
+  rig.cp->ReconnectCodeFlow(*rig.flow, [&](Status s) {
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    reconnected = true;
+  });
+  rig.events.Run();
+  ASSERT_TRUE(reconnected);
+  ASSERT_TRUE(rig.Harvest(collector).ok());
+  EXPECT_EQ(collector.stats().events, emitted);
+  EXPECT_EQ(collector.stats().overwritten, 0u);
+  EXPECT_EQ(collector.stats().torn, 0u);
+
+  std::size_t exec_events = 0;
+  for (const auto& ev : rig.tracer.events()) {
+    exec_events += ev.name == "hook_exec:ebpf";
+  }
+  EXPECT_EQ(exec_events, 8u);
+}
+
+TEST(TelemetryE2E, TelemetryOffPublishesNoRingAndHarvestRefuses) {
+  sim::EventQueue events;
+  rdma::Fabric fabric{events};
+  const rdma::NodeId cp_id = fabric.AddNode("cp", 128u << 20).id();
+  ControlPlane cp(events, fabric, cp_id);
+  SandboxConfig config;
+  config.telemetry = false;
+  rdma::Node& node = fabric.AddNode("n0");
+  Sandbox sandbox(events, node, config);
+  ASSERT_TRUE(sandbox.CtxInit().ok());
+  EXPECT_EQ(sandbox.trace_writer(), nullptr);
+
+  CodeFlow* flow = nullptr;
+  cp.CreateCodeFlow(sandbox, sandbox.CtxRegister().value(),
+                    [&flow](StatusOr<CodeFlow*> f) {
+                      ASSERT_TRUE(f.ok());
+                      flow = f.value();
+                    });
+  events.Run();
+  ASSERT_NE(flow, nullptr);
+  EXPECT_EQ(flow->remote_view().trace_addr, 0u);
+
+  Tracer tracer(events);
+  Collector collector(tracer);
+  Status result = OkStatus();
+  cp.HarvestTrace(*flow, collector, [&result](Status s) { result = s; });
+  events.Run();
+  EXPECT_EQ(result.code(), StatusCode::kFailedPrecondition);
+}
+
+// ---- metrics registry ----
+
+TEST(Metrics, RegistrySnapshotIsValidJsonWithStableKeys) {
+  MetricsRegistry reg;
+  reg.Count("rdma.ops", 7);
+  reg.SetGauge("cache.hit_rate", 0.5);
+  reg.Hist("latency").Add(10);
+  reg.Hist("latency").Add(20);
+  const std::string json = reg.SnapshotJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"rdma.ops\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache.hit_rate\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency\""), std::string::npos);
+  EXPECT_EQ(reg.counter("rdma.ops"), 7u);
+  EXPECT_EQ(reg.counter("missing"), 0u);
+}
+
+TEST(Metrics, SandboxControlPlaneAndCollectorExport) {
+  TelemetryRig rig;
+  rig.Deploy(0);
+  rig.RunHook(0, 3);
+  Collector collector(rig.tracer);
+  ASSERT_TRUE(rig.Harvest(collector).ok());
+
+  MetricsRegistry reg;
+  telemetry::CaptureFabricMetrics(reg, rig.fabric);
+  rig.sandbox->ExportMetrics(reg, "n0");
+  rig.cp->ExportMetrics(reg);
+  collector.ExportMetrics(reg);
+
+  EXPECT_EQ(reg.counter("n0.executions"), 3u);
+  EXPECT_GE(reg.counter("n0.trace.emitted"), 3u);
+  EXPECT_EQ(reg.counter("cp.codeflows"), 1u);
+  EXPECT_GE(reg.counter("telemetry.harvests"), 1u);
+  EXPECT_GE(reg.counter("telemetry.events"), 3u);
+  EXPECT_TRUE(JsonChecker(reg.SnapshotJson()).Valid());
+}
+
+}  // namespace
+}  // namespace rdx
