@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Runs the resilience benches (fault_recovery + guardrail_overhead) and
-# writes each machine-readable `BENCH_<name>.json {...}` line from their
-# stdout to BENCH_<name>.json at the repo root.
+# Runs the checked-in-result benches (fault_recovery, guardrail_overhead,
+# broadcast_scale) and writes each machine-readable `BENCH_<name>.json
+# {...}` line from their stdout to BENCH_<name>.json at the repo root.
+# docs/benchmarks.md documents the fields and the refresh workflow.
 #
 # Usage: scripts/bench.sh            # from anywhere inside the repo
 set -euo pipefail
@@ -9,11 +10,13 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
 
+benches=(fault_recovery guardrail_overhead broadcast_scale)
+
 cmake -B build -S . >/dev/null
-cmake --build build -j"$(nproc)" --target fault_recovery guardrail_overhead
+cmake --build build -j"$(nproc)" --target "${benches[@]}"
 
 rm -f "$repo"/BENCH_*.json.tmp
-for bench in fault_recovery guardrail_overhead; do
+for bench in "${benches[@]}"; do
   echo "== bench: $bench =="
   out="$(./build/bench/$bench)"
   echo "$out"

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Repository gate: tier-1 verification (full build + every test), a
-# strict -Wall -Wextra -Werror compile of all src/ libraries, and an
-# ASan+UBSan build + test pass (catches the lifetime/aliasing bugs the
-# guardrail and fault paths are most prone to).
+# strict -Wall -Wextra -Werror compile of all src/ libraries, a
+# doc-drift guard (docs/wire-contracts.md vs core/layout.h + markdown
+# link check), and an ASan+UBSan build + test pass (catches the
+# lifetime/aliasing bugs the guardrail and fault paths are most prone
+# to).
 #
 # Usage: scripts/check.sh            # from anywhere inside the repo
 #        RDX_SKIP_SANITIZERS=1 scripts/check.sh   # quick gate only
@@ -16,6 +18,60 @@ echo "== tier-1: configure + build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+echo
+echo "== docs: wire-contract drift guard + markdown link check =="
+# Every `| 0x.. | kConstant |` table row in docs/wire-contracts.md must
+# match the constexpr value in src/core/layout.h, and every layout
+# constant in the header must appear in the doc. Grep-based on purpose:
+# no extra tooling, and the doc's table format is part of the contract.
+doc="docs/wire-contracts.md"
+hdr="src/core/layout.h"
+drift=0
+
+# Doc -> header: each documented (offset, constant) pair exists verbatim.
+while IFS=' ' read -r off name; do
+  if ! grep -Eq "constexpr std::uint64_t ${name} = ${off};" "$hdr"; then
+    echo "doc-drift: $doc documents ${name} = ${off}, not found in $hdr"
+    drift=1
+  fi
+done < <(sed -n 's/^| `\(0x[0-9a-fA-F]*\)` | `\(k[A-Za-z0-9]*\)` .*/\1 \2/p' "$doc")
+
+# Doc sizes: `kFooBytes` = `0x..` mentions in prose must match too.
+while IFS=' ' read -r name off; do
+  if ! grep -Eq "constexpr std::uint64_t ${name} = ${off};" "$hdr"; then
+    echo "doc-drift: $doc documents ${name} = ${off}, not found in $hdr"
+    drift=1
+  fi
+done < <(sed -n 's/.*`\(k[A-Za-z0-9]*Bytes\)` = `\(0x[0-9a-fA-F]*\)`.*/\1 \2/p' "$doc")
+
+# Header -> doc: every offset/size constant is documented somewhere.
+while IFS= read -r name; do
+  if ! grep -q "\`${name}\`" "$doc"; then
+    echo "doc-drift: $hdr defines ${name}, missing from $doc"
+    drift=1
+  fi
+done < <(sed -n 's/^constexpr std::uint64_t \(k\(Cb\|Tr\|Ts\|Hb\|Desc\)[A-Za-z0-9]*\) = 0x.*/\1/p; s/^constexpr std::uint64_t \(k[A-Za-z0-9]*Bytes\) = 0x.*/\1/p' "$hdr" | sort -u)
+
+# Relative markdown links in the top-level docs resolve to real files.
+for md in README.md DESIGN.md EXPERIMENTS.md docs/*.md; do
+  dir="$(dirname "$md")"
+  while IFS= read -r link; do
+    target="${link%%#*}"
+    [[ -z "$target" ]] && continue
+    if [[ ! -e "$dir/$target" ]]; then
+      echo "broken link: $md -> $link"
+      drift=1
+    fi
+  done < <(grep -o '](\([^)]*\))' "$md" | sed 's/^](//; s/)$//' \
+             | grep -v '^https\?://' | grep -v '^#' | grep -v ' ' || true)
+done
+
+if [[ "$drift" != "0" ]]; then
+  echo "doc guard FAILED (see above)"
+  exit 1
+fi
+echo "doc guard OK"
 
 echo
 echo "== strict: -Wall -Wextra -Werror build of src/ libraries =="

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "core/reliability.h"
+
 namespace rdx::core {
 
 namespace {
@@ -283,6 +285,348 @@ void CollectiveCodeFlow::CommitAll(
         };
         (*wait_visible)();
       });
+}
+
+// ---- pipelined fleet deploy ----------------------------------------------
+
+struct CollectiveCodeFlow::PipelineState {
+  // Owned copies: callers' specs need not outlive the async pipeline.
+  std::vector<bpf::Program> progs;
+  std::vector<int> hooks;
+  PipelineOptions opts;
+  sim::SimTime t0 = 0;
+  std::function<void(StatusOr<PipelineResult>)> done;
+  bool failed = false;  // terminal failure already reported
+
+  // Per-node completion tracking.
+  std::vector<NodeOutcome> nodes;
+  std::vector<bool> alive;
+  std::size_t stragglers = 0;
+
+  // Compile-stage -> deploy-stage handoff (the pipeline registers).
+  std::vector<const bpf::JitImage*> images;
+  std::vector<bool> image_ready;
+  std::vector<WaveResult> waves;
+  std::size_t next_deploy = 0;
+  bool deploying = false;
+};
+
+void CollectiveCodeFlow::DeployPipelined(
+    const std::vector<DeploySpec>& specs, const PipelineOptions& opts,
+    std::function<void(StatusOr<PipelineResult>)> done) {
+  auto st = std::make_shared<PipelineState>();
+  st->opts = opts;
+  st->t0 = cp_.events().Now();
+  st->done = std::move(done);
+  st->progs.reserve(specs.size());
+  st->hooks.reserve(specs.size());
+  for (const DeploySpec& spec : specs) {
+    if (spec.prog == nullptr) {
+      st->done(InvalidArgument("null program in deploy spec"));
+      return;
+    }
+    st->progs.push_back(*spec.prog);
+    st->hooks.push_back(spec.hook);
+  }
+  st->waves.resize(specs.size());
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    st->waves[k].hook = st->hooks[k];
+  }
+  st->images.resize(specs.size(), nullptr);
+  st->image_ready.resize(specs.size(), false);
+  st->nodes.resize(group_.size());
+  st->alive.assign(group_.size(), true);
+  for (std::size_t i = 0; i < group_.size(); ++i) {
+    st->nodes[i].node = group_[i]->node();
+  }
+  if (specs.empty()) {
+    FinishPipeline(st);
+    return;
+  }
+  CompileWave(st, 0);
+}
+
+void CollectiveCodeFlow::CompileWave(std::shared_ptr<PipelineState> st,
+                                     std::size_t k) {
+  if (st->failed) return;
+  const sim::SimTime start = cp_.events().Now();
+  st->waves[k].compile_cache_hit =
+      cp_.artifact_cache().ContainsEbpf(ProgramFingerprint(st->progs[k]));
+  cp_.ValidateCode(st->progs[k], [this, st, k, start](Status s) {
+    if (!s.ok()) {
+      AbortPipeline(st, s);
+      return;
+    }
+    cp_.JitCompileCode(
+        st->progs[k],
+        [this, st, k, start](StatusOr<const bpf::JitImage*> img) {
+          if (!img.ok()) {
+            AbortPipeline(st, img.status());
+            return;
+          }
+          st->images[k] = img.value();
+          st->image_ready[k] = true;
+          st->waves[k].compile = cp_.events().Now() - start;
+          if (cp_.tracer() != nullptr && st->waves[k].compile > 0) {
+            cp_.tracer()->AddComplete(
+                "pipeline:compile", static_cast<std::uint32_t>(cp_.self()),
+                static_cast<std::uint32_t>(st->hooks[k]), start,
+                st->waves[k].compile);
+          }
+          // The pipeline's overlap: start compiling the next wave while
+          // this one's transfer + commit are still in flight.
+          if (st->opts.pipelined && k + 1 < st->progs.size()) {
+            CompileWave(st, k + 1);
+          }
+          TryDeployWave(st);
+        });
+  });
+}
+
+void CollectiveCodeFlow::TryDeployWave(std::shared_ptr<PipelineState> st) {
+  if (st->failed || st->deploying) return;
+  if (st->next_deploy >= st->progs.size()) {
+    FinishPipeline(st);
+    return;
+  }
+  if (!st->image_ready[st->next_deploy]) return;
+  st->deploying = true;
+  const std::size_t k = st->next_deploy;
+  DeployWave(st, k, [this, st, k] {
+    st->deploying = false;
+    ++st->next_deploy;
+    if (st->failed) return;
+    // Serial schedule: the next wave's compile starts only now.
+    if (!st->opts.pipelined && k + 1 < st->progs.size() &&
+        !st->image_ready[k + 1]) {
+      CompileWave(st, k + 1);
+      return;
+    }
+    TryDeployWave(st);
+  });
+}
+
+void CollectiveCodeFlow::DeployWave(std::shared_ptr<PipelineState> st,
+                                    std::size_t k,
+                                    std::function<void()> wave_done) {
+  const int hook = st->hooks[k];
+  const std::uint64_t fp = ProgramFingerprint(st->progs[k]);
+  const bpf::JitImage* image = st->images[k];
+  const sim::SimTime wave_start = cp_.events().Now();
+  auto prepared = std::make_shared<std::vector<ControlPlane::PreparedImage>>(
+      group_.size());
+  auto has_prepared = std::make_shared<std::vector<bool>>(group_.size(),
+                                                          false);
+  auto wave_done_shared =
+      std::make_shared<std::function<void()>>(std::move(wave_done));
+  // A node-level failure either quarantines the node (straggler
+  // isolation) or, when isolation is off, fails the wave.
+  auto node_failed = [this, st, k](std::size_t i, const Status& why,
+                                   const std::function<void(Status)>& done_i) {
+    if (st->opts.isolate_stragglers) {
+      MarkStraggler(st, i, k, why);
+      done_i(OkStatus());
+    } else {
+      done_i(why);
+    }
+  };
+
+  // One dispatch charge per wave: the control plane assembles every
+  // node's WR chains in a single pass, instead of paying the rdx
+  // dispatch overhead once per node as the serial path does.
+  cp_.events().ScheduleAfter(
+      cp_.config().cost.rdx_dispatch_overhead,
+      [this, st, k, hook, fp, image, wave_start, prepared, has_prepared,
+       node_failed, wave_done_shared] {
+        ForAll(
+            group_.size(),
+            [this, st, k, hook, fp, image, prepared, has_prepared,
+             node_failed](std::size_t i, std::function<void(Status)> done_i) {
+              if (!st->alive[i]) {
+                done_i(OkStatus());
+                return;
+              }
+              CodeFlow& flow = *group_[i];
+              const bpf::Program& prog = st->progs[k];
+              // Deploy missing XStates, then link + prepare (the image
+              // chunks ride one doorbell-batched chain per node).
+              auto deploy_next =
+                  std::make_shared<std::function<void(std::size_t)>>();
+              std::weak_ptr<std::function<void(std::size_t)>> weak =
+                  deploy_next;
+              *deploy_next = [this, st, &flow, &prog, image, prepared,
+                              has_prepared, i, k, hook, fp, done_i, weak,
+                              node_failed](std::size_t m) mutable {
+                auto self = weak.lock();
+                if (!self) return;
+                while (m < prog.maps.size() &&
+                       flow.xstates().count(prog.maps[m].name) != 0) {
+                  ++m;
+                }
+                if (m < prog.maps.size()) {
+                  cp_.DeployXState(
+                      flow, prog.maps[m],
+                      [self, m, i, done_i, node_failed](
+                          StatusOr<std::uint64_t> addr) {
+                        if (!addr.ok()) {
+                          node_failed(i, addr.status(), done_i);
+                          return;
+                        }
+                        (*self)(m + 1);
+                      });
+                  return;
+                }
+                cp_.LinkCode(
+                    flow, *image,
+                    [this, st, &flow, prepared, has_prepared, i, k, hook, fp,
+                     done_i, node_failed](StatusOr<bpf::JitImage> linked) {
+                      if (!linked.ok()) {
+                        node_failed(i, linked.status(), done_i);
+                        return;
+                      }
+                      cp_.PrepareImage(
+                          flow, linked->Serialize(),
+                          flow.HookVersion(hook) + 1,
+                          [prepared, has_prepared, i, done_i, node_failed](
+                              StatusOr<ControlPlane::PreparedImage> p) {
+                            if (!p.ok()) {
+                              node_failed(i, p.status(), done_i);
+                              return;
+                            }
+                            (*prepared)[i] = p.value();
+                            (*has_prepared)[i] = true;
+                            done_i(OkStatus());
+                          },
+                          fp);
+                    });
+              };
+              (*deploy_next)(0);
+            },
+            [this, st, k, hook, wave_start, prepared, has_prepared,
+             node_failed, wave_done_shared](Status all) {
+              if (st->failed) {
+                (*wave_done_shared)();
+                return;
+              }
+              if (!all.ok()) {
+                AbortPipeline(st, all);
+                (*wave_done_shared)();
+                return;
+              }
+              st->waves[k].transfer = cp_.events().Now() - wave_start;
+              if (cp_.tracer() != nullptr) {
+                cp_.tracer()->AddComplete(
+                    "pipeline:transfer",
+                    static_cast<std::uint32_t>(cp_.self()),
+                    static_cast<std::uint32_t>(hook), wave_start,
+                    st->waves[k].transfer);
+              }
+              // Commit wave: CAS every prepared node concurrently, one
+              // fan-out across the per-node QPs.
+              const sim::SimTime commit_start = cp_.events().Now();
+              ForAll(
+                  group_.size(),
+                  [this, st, k, hook, prepared, has_prepared, node_failed](
+                      std::size_t i, std::function<void(Status)> done_i) {
+                    if (!st->alive[i] || !(*has_prepared)[i]) {
+                      done_i(OkStatus());
+                      return;
+                    }
+                    CodeFlow& flow = *group_[i];
+                    auto it = flow.hooks_.find(hook);
+                    const std::uint64_t expected =
+                        it == flow.hooks_.end() ? 0 : it->second.desc_addr;
+                    cp_.CommitPreparedCas(
+                        flow, hook, (*prepared)[i], expected,
+                        [this, st, k, i, done_i,
+                         node_failed](Status s) {
+                          if (!s.ok()) {
+                            node_failed(i, s, done_i);
+                            return;
+                          }
+                          ++st->nodes[i].waves_committed;
+                          ++st->waves[k].committed;
+                          done_i(OkStatus());
+                        });
+                  },
+                  [this, st, k, hook, commit_start,
+                   wave_done_shared](Status all2) {
+                    if (st->failed) {
+                      (*wave_done_shared)();
+                      return;
+                    }
+                    if (!all2.ok()) {
+                      AbortPipeline(st, all2);
+                      (*wave_done_shared)();
+                      return;
+                    }
+                    st->waves[k].commit = cp_.events().Now() - commit_start;
+                    if (cp_.tracer() != nullptr) {
+                      cp_.tracer()->AddComplete(
+                          "pipeline:commit",
+                          static_cast<std::uint32_t>(cp_.self()),
+                          static_cast<std::uint32_t>(hook), commit_start,
+                          st->waves[k].commit);
+                    }
+                    (*wave_done_shared)();
+                  });
+            });
+      });
+}
+
+void CollectiveCodeFlow::MarkStraggler(std::shared_ptr<PipelineState> st,
+                                       std::size_t i, std::size_t wave,
+                                       const Status& why) {
+  if (!st->alive[i]) return;
+  st->alive[i] = false;
+  ++st->stragglers;
+  NodeOutcome& out = st->nodes[i];
+  out.status = why;
+  out.failed_wave = static_cast<int>(wave);
+  if (cp_.tracer() != nullptr) {
+    char args[96];
+    std::snprintf(args, sizeof(args), "\"node\": %u, \"wave\": %zu",
+                  static_cast<unsigned>(out.node), wave);
+    cp_.tracer()->AddInstant("pipeline:straggler",
+                             static_cast<std::uint32_t>(cp_.self()),
+                             static_cast<std::uint32_t>(st->hooks[wave]),
+                             args);
+  }
+  // Hand the failed deploy to the recovery layer in the background; the
+  // pipeline result does not wait for the retry to settle.
+  if (st->opts.recovery != nullptr) {
+    out.retried_in_background = true;
+    st->opts.recovery->DeployReliably(
+        *group_[i], st->progs[wave], st->hooks[wave],
+        [st](StatusOr<RecoveryOutcome> r) { (void)r; });
+  }
+}
+
+void CollectiveCodeFlow::AbortPipeline(std::shared_ptr<PipelineState> st,
+                                       const Status& why) {
+  if (st->failed) return;
+  st->failed = true;
+  st->done(why);
+}
+
+void CollectiveCodeFlow::FinishPipeline(std::shared_ptr<PipelineState> st) {
+  if (st->failed) return;
+  PipelineResult result;
+  result.waves = std::move(st->waves);
+  result.nodes = std::move(st->nodes);
+  result.total = cp_.events().Now() - st->t0;
+  result.stragglers = st->stragglers;
+  if (cp_.tracer() != nullptr) {
+    char args[96];
+    std::snprintf(args, sizeof(args),
+                  "\"nodes\": %zu, \"waves\": %zu, \"stragglers\": %zu",
+                  result.nodes.size(), result.waves.size(),
+                  result.stragglers);
+    cp_.tracer()->AddComplete("pipeline",
+                              static_cast<std::uint32_t>(cp_.self()), 0,
+                              st->t0, result.total, args);
+  }
+  st->done(std::move(result));
 }
 
 }  // namespace rdx::core

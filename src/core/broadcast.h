@@ -33,6 +33,53 @@ struct BroadcastResult {
   std::size_t nodes = 0;
 };
 
+class RecoveryManager;
+
+// One deployment wave of the pipelined fleet deploy: a program bound for
+// a hook on every (healthy) node in the group.
+struct DeploySpec {
+  const bpf::Program* prog = nullptr;
+  int hook = 0;
+};
+
+struct PipelineOptions {
+  // Overlap validate+JIT of wave k+1 with the transfer/commit of wave k.
+  // Disabled, each wave runs start to finish before the next compiles —
+  // the serial schedule the pipeline is benchmarked against.
+  bool pipelined = true;
+  // A failed node is quarantined from the remaining waves instead of
+  // failing the whole deploy (per-node completion tracking).
+  bool isolate_stragglers = true;
+  // Optional: quarantined (node, wave) deploys are re-driven in the
+  // background through the recovery layer's retry/reconnect machinery;
+  // the pipeline result does not wait for them.
+  RecoveryManager* recovery = nullptr;
+};
+
+struct NodeOutcome {
+  rdma::NodeId node = rdma::kInvalidNode;
+  Status status;             // first failure; OK if never quarantined
+  int failed_wave = -1;      // wave index of the first failure
+  std::uint64_t waves_committed = 0;
+  bool retried_in_background = false;
+};
+
+struct WaveResult {
+  int hook = 0;
+  bool compile_cache_hit = false;
+  sim::Duration compile = 0;   // validate + JIT (0 on artifact-cache hit)
+  sim::Duration transfer = 0;  // dispatch + xstate/link/prepare fan-out
+  sim::Duration commit = 0;    // CAS commit wave
+  std::size_t committed = 0;   // nodes that took this wave
+};
+
+struct PipelineResult {
+  std::vector<WaveResult> waves;
+  std::vector<NodeOutcome> nodes;
+  sim::Duration total = 0;
+  std::size_t stragglers = 0;  // nodes quarantined during the run
+};
+
 // One collective operation over a group of CodeFlows.
 class CollectiveCodeFlow {
  public:
@@ -50,7 +97,36 @@ class CollectiveCodeFlow {
                      int hook, UpdateBarrier* barrier,
                      std::function<void(StatusOr<BroadcastResult>)> done);
 
+  // Pipelined, doorbell-batched fleet deploy. Drives `specs` as a
+  // sequence of waves through a two-stage pipeline: while wave k's image
+  // streams to every node over doorbell-batched WR chains and its CAS
+  // commit wave fans out across the per-node QPs, wave k+1 is already
+  // validating + JIT-compiling on the control plane (one artifact per
+  // fingerprint, shared by all N targets via the artifact cache). The
+  // per-wave dispatch overhead is paid once for the group, not per node.
+  // A straggler or faulted node is quarantined from later waves without
+  // stalling the healthy fan-out; a compile failure (including a
+  // blacklisted fingerprint) fails the whole deploy. Unlike Broadcast
+  // there is no BBU barrier: this is the fleet-provisioning path, and
+  // per-node visibility is driven by the commits' cc_event flushes.
+  void DeployPipelined(const std::vector<DeploySpec>& specs,
+                       const PipelineOptions& opts,
+                       std::function<void(StatusOr<PipelineResult>)> done);
+
  private:
+  struct PipelineState;
+  // Compile stage: validate + JIT wave k, then hand the artifact to the
+  // deploy stage (and, when pipelining, start on wave k+1 immediately).
+  void CompileWave(std::shared_ptr<PipelineState> st, std::size_t k);
+  // Deploy stage driver: runs one wave at a time as artifacts appear.
+  void TryDeployWave(std::shared_ptr<PipelineState> st);
+  void DeployWave(std::shared_ptr<PipelineState> st, std::size_t k,
+                  std::function<void()> wave_done);
+  void MarkStraggler(std::shared_ptr<PipelineState> st, std::size_t i,
+                     std::size_t wave, const Status& why);
+  void AbortPipeline(std::shared_ptr<PipelineState> st, const Status& why);
+  void FinishPipeline(std::shared_ptr<PipelineState> st);
+
   // Shared phase-2 logic once every node holds a PreparedImage.
   void CommitAll(std::vector<ControlPlane::PreparedImage> prepared, int hook,
                  UpdateBarrier* barrier, sim::SimTime t0,

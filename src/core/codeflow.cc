@@ -42,6 +42,73 @@ std::uint64_t WasmFingerprint(const wasm::FilterModule& module) {
   return Fnv1a64(bytes);
 }
 
+const bool* ArtifactCache::FindEbpfVerdict(std::uint64_t fp) {
+  auto it = ebpf_verdicts_.find(fp);
+  if (it == ebpf_verdicts_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+const bool* ArtifactCache::FindWasmVerdict(std::uint64_t fp) {
+  auto it = wasm_verdicts_.find(fp);
+  if (it == wasm_verdicts_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+const bpf::JitImage* ArtifactCache::FindEbpf(std::uint64_t fp) {
+  auto it = ebpf_.find(fp);
+  if (it == ebpf_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+const wasm::WasmImage* ArtifactCache::FindWasm(std::uint64_t fp) {
+  auto it = wasm_.find(fp);
+  if (it == wasm_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void ArtifactCache::PutEbpfVerdict(std::uint64_t fp, bool ok) {
+  ebpf_verdicts_[fp] = ok;
+}
+
+void ArtifactCache::PutWasmVerdict(std::uint64_t fp, bool ok) {
+  wasm_verdicts_[fp] = ok;
+}
+
+const bpf::JitImage* ArtifactCache::PutEbpf(std::uint64_t fp,
+                                            bpf::JitImage image) {
+  return &(ebpf_.insert_or_assign(fp, std::move(image)).first->second);
+}
+
+const wasm::WasmImage* ArtifactCache::PutWasm(std::uint64_t fp,
+                                              wasm::WasmImage image) {
+  return &(wasm_.insert_or_assign(fp, std::move(image)).first->second);
+}
+
+void ArtifactCache::Invalidate(std::uint64_t fp) {
+  std::size_t evicted = 0;
+  evicted += ebpf_verdicts_.erase(fp);
+  evicted += wasm_verdicts_.erase(fp);
+  evicted += ebpf_.erase(fp);
+  evicted += wasm_.erase(fp);
+  if (evicted != 0) ++invalidations_;
+}
+
 StatusOr<std::uint64_t> CodeFlow::Symbol(std::uint64_t hash) const {
   auto it = symbols_.find(hash);
   if (it == symbols_.end()) return NotFound("symbol not exported by target");
@@ -112,6 +179,46 @@ void ControlPlane::Post(
       wc.status = rdma::WcStatus::kWorkRequestFlushed;
       wc.opcode = wr.opcode;
       handler(wc);
+    }
+  }
+}
+
+void ControlPlane::PostChain(
+    CodeFlow& flow, std::vector<rdma::SendWr> wrs,
+    std::function<void(const rdma::WorkCompletion&)> per_wr_done) {
+  if (wrs.empty()) return;
+  const rdma::NodeId target = flow.node_;
+  auto handler = std::make_shared<
+      std::function<void(const rdma::WorkCompletion&)>>(
+      [this, target, done = std::move(per_wr_done)](
+          const rdma::WorkCompletion& wc) {
+        if (wc.status == rdma::WcStatus::kSuccess) {
+          last_success_[target] = events_.Now();
+        }
+        done(wc);
+      });
+  for (rdma::SendWr& wr : wrs) {
+    wr.wr_id = next_wr_id_++;
+    wr.signaled = true;
+    pending_.emplace(wr.wr_id,
+                     PendingOp{[handler](const rdma::WorkCompletion& wc) {
+                       (*handler)(wc);
+                     }});
+  }
+  const Status posted = flow.qp->PostSendChain(wrs);
+  if (!posted.ok()) {
+    // Error-state flushes were already delivered through the CQ; surface
+    // completions for any WR the QP rejected without flushing.
+    for (const rdma::SendWr& wr : wrs) {
+      auto it = pending_.find(wr.wr_id);
+      if (it == pending_.end()) continue;
+      auto h = std::move(it->second.on_complete);
+      pending_.erase(it);
+      rdma::WorkCompletion wc;
+      wc.wr_id = wr.wr_id;
+      wc.status = rdma::WcStatus::kWorkRequestFlushed;
+      wc.opcode = wr.opcode;
+      h(wc);
     }
   }
 }
@@ -331,18 +438,16 @@ void ControlPlane::ValidateCode(const bpf::Program& prog, Done done) {
     done(PermissionDenied("program fingerprint is quarantined"));
     return;
   }
-  if (auto it = verify_cache_.find(fp); it != verify_cache_.end()) {
-    ++cache_hits_;
-    done(it->second ? OkStatus()
-                    : InvalidArgument("program known to fail verification"));
+  if (const bool* verdict = artifacts_.FindEbpfVerdict(fp)) {
+    done(*verdict ? OkStatus()
+                  : InvalidArgument("program known to fail verification"));
     return;
   }
-  ++cache_misses_;
   // Real verification work happens now; virtual time is charged to the
   // control plane's CPU (not any data-plane node).
   bpf::VerifierStats stats;
   const Status verdict = bpf::Verifier().Verify(prog, &stats);
-  verify_cache_[fp] = verdict.ok();
+  artifacts_.PutEbpfVerdict(fp, verdict.ok());
   cpu_.Submit(config_.cost.VerifyCycles(prog.size()),
               [done = std::move(done), verdict] { done(verdict); });
 }
@@ -351,12 +456,10 @@ void ControlPlane::JitCompileCode(
     const bpf::Program& prog,
     std::function<void(StatusOr<const bpf::JitImage*>)> done) {
   const std::uint64_t fp = ProgramFingerprint(prog);
-  if (auto it = ebpf_cache_.find(fp); it != ebpf_cache_.end()) {
-    ++cache_hits_;
-    done(const_cast<const bpf::JitImage*>(&it->second));
+  if (const bpf::JitImage* hit = artifacts_.FindEbpf(fp)) {
+    done(hit);
     return;
   }
-  ++cache_misses_;
   auto image = bpf::JitCompiler().Compile(prog);
   cpu_.Submit(config_.cost.JitCycles(prog.size()),
               [this, fp, image = std::move(image), done = std::move(done)] {
@@ -364,18 +467,23 @@ void ControlPlane::JitCompileCode(
                   done(image.status());
                   return;
                 }
-                auto [it, inserted] = ebpf_cache_.emplace(fp, image.value());
-                (void)inserted;
-                done(const_cast<const bpf::JitImage*>(&it->second));
+                done(artifacts_.PutEbpf(fp, image.value()));
               });
 }
 
 void ControlPlane::ValidateWasm(const wasm::FilterModule& module, Done done) {
-  if (IsBlacklisted(WasmFingerprint(module))) {
+  const std::uint64_t fp = WasmFingerprint(module);
+  if (IsBlacklisted(fp)) {
     done(PermissionDenied("filter fingerprint is quarantined"));
     return;
   }
+  if (const bool* verdict = artifacts_.FindWasmVerdict(fp)) {
+    done(*verdict ? OkStatus()
+                  : InvalidArgument("filter known to fail validation"));
+    return;
+  }
   const Status verdict = wasm::ValidateFilter(module);
+  artifacts_.PutWasmVerdict(fp, verdict.ok());
   cpu_.Submit(config_.cost.WasmValidateCycles(module.size()),
               [done = std::move(done), verdict] { done(verdict); });
 }
@@ -384,12 +492,10 @@ void ControlPlane::CompileWasm(
     const wasm::FilterModule& module,
     std::function<void(StatusOr<const wasm::WasmImage*>)> done) {
   const std::uint64_t fp = WasmFingerprint(module);
-  if (auto it = wasm_cache_.find(fp); it != wasm_cache_.end()) {
-    ++cache_hits_;
-    done(const_cast<const wasm::WasmImage*>(&it->second));
+  if (const wasm::WasmImage* hit = artifacts_.FindWasm(fp)) {
+    done(hit);
     return;
   }
-  ++cache_misses_;
   auto image = wasm::CompileFilter(module);
   cpu_.Submit(config_.cost.WasmCompileCycles(module.size()),
               [this, fp, image = std::move(image), done = std::move(done)] {
@@ -397,9 +503,7 @@ void ControlPlane::CompileWasm(
                   done(image.status());
                   return;
                 }
-                auto [it, inserted] = wasm_cache_.emplace(fp, image.value());
-                (void)inserted;
-                done(const_cast<const wasm::WasmImage*>(&it->second));
+                done(artifacts_.PutWasm(fp, image.value()));
               });
 }
 
@@ -511,6 +615,19 @@ void ControlPlane::WriteChunked(CodeFlow& flow, Bytes payload,
   auto remaining = std::make_shared<std::size_t>(nchunks);
   auto failed = std::make_shared<bool>(false);
   auto& mem = fabric_.node(self_).memory();
+  auto on_wc = [remaining, failed, done](const rdma::WorkCompletion& wc) {
+    if (wc.status != rdma::WcStatus::kSuccess) *failed = true;
+    if (--*remaining == 0) {
+      done(*failed ? Unavailable("RDMA write failed") : OkStatus());
+    }
+  };
+
+  // Multi-chunk payloads go out as one doorbell-batched chain: the NIC
+  // walks the WR linked list after a single MMIO ring, amortizing the
+  // per-post doorbell cost across the whole transfer.
+  const bool batch = config_.use_doorbell_batching && nchunks > 1;
+  std::vector<rdma::SendWr> chain;
+  if (batch) chain.reserve(nchunks);
 
   std::size_t off = 0;
   for (std::size_t c = 0; c < nchunks; ++c) {
@@ -530,15 +647,14 @@ void ControlPlane::WriteChunked(CodeFlow& flow, Bytes payload,
                    local_mr_.lkey};
     write.remote_addr = remote_addr + off;
     write.rkey = flow.rkey;
-    Post(flow, write,
-         [remaining, failed, done](const rdma::WorkCompletion& wc) {
-           if (wc.status != rdma::WcStatus::kSuccess) *failed = true;
-           if (--*remaining == 0) {
-             done(*failed ? Unavailable("RDMA write failed") : OkStatus());
-           }
-         });
+    if (batch) {
+      chain.push_back(write);
+    } else {
+      Post(flow, write, on_wc);
+    }
     off += len;
   }
+  if (batch) PostChain(flow, std::move(chain), on_wc);
 }
 
 void ControlPlane::CommitHook(CodeFlow& flow, int hook,
@@ -584,31 +700,35 @@ void ControlPlane::CommitHook(CodeFlow& flow, int hook,
       done(s);
       return;
     }
-    ++flow.epoch_;
-    // Bump the remote epoch (fire and forget for timing purposes).
-    auto landing = LocalScratch(8);
-    if (landing.ok()) {
-      rdma::SendWr faa;
-      faa.opcode = rdma::Opcode::kFetchAdd;
-      faa.local = {landing.value(), 8, local_mr_.lkey};
-      faa.remote_addr = flow.remote_view_.cb_addr + kCbEpoch;
-      faa.rkey = flow.rkey;
-      faa.compare_add = 1;
-      Post(flow, faa, [](const rdma::WorkCompletion&) {});
-    }
-    // Visibility: with rdx_cc_event the control plane injects a flush
-    // (constant ~2 us); without it the CPU discovers the new slot only
-    // when cache pressure evicts the stale line.
-    if (config_.use_cc_event) {
-      CcEvent(flow, hook, std::move(done));
-    } else {
-      flow.sandbox->ScheduleHookRefresh(
-          hook, flow.sandbox->VisibilityDelay(/*coherent_flush=*/false));
-      done(OkStatus());
-    }
+    CommitVisibility(flow, hook, std::move(done));
   };
 
   WriteChunked(flow, std::move(qword), slot_addr, std::move(after_commit));
+}
+
+void ControlPlane::CommitVisibility(CodeFlow& flow, int hook, Done done) {
+  ++flow.epoch_;
+  // Bump the remote epoch (fire and forget for timing purposes).
+  auto landing = LocalScratch(8);
+  if (landing.ok()) {
+    rdma::SendWr faa;
+    faa.opcode = rdma::Opcode::kFetchAdd;
+    faa.local = {landing.value(), 8, local_mr_.lkey};
+    faa.remote_addr = flow.remote_view_.cb_addr + kCbEpoch;
+    faa.rkey = flow.rkey;
+    faa.compare_add = 1;
+    Post(flow, faa, [](const rdma::WorkCompletion&) {});
+  }
+  // Visibility: with rdx_cc_event the control plane injects a flush
+  // (constant ~2 us); without it the CPU discovers the new slot only
+  // when cache pressure evicts the stale line.
+  if (config_.use_cc_event) {
+    CcEvent(flow, hook, std::move(done));
+  } else {
+    flow.sandbox->ScheduleHookRefresh(
+        hook, flow.sandbox->VisibilityDelay(/*coherent_flush=*/false));
+    done(OkStatus());
+  }
 }
 
 void ControlPlane::CcEvent(CodeFlow& flow, int hook, Done done) {
@@ -1286,6 +1406,22 @@ void ControlPlane::PrepareImage(
   });
 }
 
+void ControlPlane::RecordCommit(CodeFlow& flow, int hook,
+                                const PreparedImage& prepared) {
+  auto& deployment = flow.hooks_[hook];
+  if (deployment.desc_addr != 0) {
+    deployment.desc_history.push_back(CodeFlow::PastImage{
+        deployment.desc_addr, deployment.region_capacity + kImageDescBytes,
+        deployment.fingerprint});
+  }
+  deployment.desc_addr = prepared.desc_addr;
+  deployment.image_addr = prepared.image_addr;
+  deployment.region_capacity = prepared.region_capacity;
+  deployment.version = prepared.version;
+  deployment.fingerprint = prepared.fingerprint;
+  ReclaimSupersededImages(flow, hook);
+}
+
 void ControlPlane::CommitPrepared(CodeFlow& flow, int hook,
                                   const PreparedImage& prepared, Done done) {
   CommitHook(flow, hook, prepared.desc_addr,
@@ -1294,21 +1430,51 @@ void ControlPlane::CommitPrepared(CodeFlow& flow, int hook,
                  done(s);
                  return;
                }
-               auto& deployment = flow.hooks_[hook];
-               if (deployment.desc_addr != 0) {
-                 deployment.desc_history.push_back(CodeFlow::PastImage{
-                     deployment.desc_addr,
-                     deployment.region_capacity + kImageDescBytes,
-                     deployment.fingerprint});
-               }
-               deployment.desc_addr = prepared.desc_addr;
-               deployment.image_addr = prepared.image_addr;
-               deployment.region_capacity = prepared.region_capacity;
-               deployment.version = prepared.version;
-               deployment.fingerprint = prepared.fingerprint;
-               ReclaimSupersededImages(flow, hook);
+               RecordCommit(flow, hook, prepared);
                done(OkStatus());
              });
+}
+
+void ControlPlane::CommitPreparedCas(CodeFlow& flow, int hook,
+                                     const PreparedImage& prepared,
+                                     std::uint64_t expected_desc, Done done) {
+  auto landing = LocalScratch(8);
+  if (!landing.ok()) {
+    done(landing.status());
+    return;
+  }
+  // CAS, not a blind write: wave commits race quarantines and other
+  // writers, and a lost race must surface instead of clobbering the slot.
+  rdma::SendWr cas;
+  cas.opcode = rdma::Opcode::kCompareSwap;
+  cas.local = {landing.value(), 8, local_mr_.lkey};
+  cas.remote_addr = flow.remote_view_.hook_table_addr +
+                    static_cast<std::uint64_t>(hook) * 8;
+  cas.rkey = flow.rkey;
+  cas.compare_add = expected_desc;
+  cas.swap = prepared.desc_addr;
+  Post(flow, cas, [this, &flow, hook, prepared, expected_desc,
+                   done = std::move(done)](
+                      const rdma::WorkCompletion& wc) mutable {
+    if (wc.status != rdma::WcStatus::kSuccess) {
+      done(Unavailable("commit CAS failed"));
+      return;
+    }
+    if (wc.atomic_original != expected_desc) {
+      done(Aborted("hook slot moved under commit CAS"));
+      return;
+    }
+    CommitVisibility(flow, hook,
+                     [this, &flow, hook, prepared,
+                      done = std::move(done)](Status s) mutable {
+                       if (!s.ok()) {
+                         done(s);
+                         return;
+                       }
+                       RecordCommit(flow, hook, prepared);
+                       done(OkStatus());
+                     });
+  });
 }
 
 void ControlPlane::ReclaimSupersededImages(CodeFlow& flow, int hook) {
@@ -1366,8 +1532,7 @@ void ControlPlane::InjectExtension(
     std::function<void(StatusOr<InjectTrace>)> done) {
   auto trace = std::make_shared<InjectTrace>();
   const sim::SimTime t0 = events_.Now();
-  const bool cached =
-      ebpf_cache_.count(ProgramFingerprint(prog)) != 0;
+  const bool cached = artifacts_.ContainsEbpf(ProgramFingerprint(prog));
   trace->compile_cache_hit = cached;
 
   ValidateCode(prog, [this, &flow, prog, hook, done = std::move(done), trace,
@@ -1451,7 +1616,7 @@ void ControlPlane::InjectWasmFilter(
   auto trace = std::make_shared<InjectTrace>();
   const sim::SimTime t0 = events_.Now();
   const std::uint64_t fp = WasmFingerprint(module);
-  trace->compile_cache_hit = wasm_cache_.count(fp) != 0;
+  trace->compile_cache_hit = artifacts_.ContainsWasm(fp);
 
   ValidateWasm(module, [this, &flow, module, hook, fp,
                         done = std::move(done), trace, t0](Status s) mutable {
@@ -1599,8 +1764,11 @@ void ControlPlane::HarvestTrace(CodeFlow& flow,
 
 void ControlPlane::ExportMetrics(telemetry::MetricsRegistry& reg) const {
   reg.SetCounter("cp.quarantines", quarantines_);
-  reg.SetCounter("cp.compile_cache_hits", cache_hits_);
-  reg.SetCounter("cp.compile_cache_misses", cache_misses_);
+  reg.SetCounter("cp.compile_cache_hits", artifacts_.hits());
+  reg.SetCounter("cp.compile_cache_misses", artifacts_.misses());
+  reg.SetCounter("cp.artifact_cache_entries", artifacts_.entries());
+  reg.SetCounter("cp.artifact_cache_invalidations",
+                 artifacts_.invalidations());
   reg.SetCounter("cp.blacklisted_fingerprints", blacklist_.size());
   reg.SetCounter("cp.codeflows", flows_.size());
 }
@@ -1639,7 +1807,11 @@ void ControlPlane::Detach(CodeFlow& flow, int hook, Done done) {
 // ---- runtime guardrails --------------------------------------------------
 
 void ControlPlane::BlacklistFingerprint(std::uint64_t fingerprint) {
-  if (fingerprint != 0) blacklist_.insert(fingerprint);
+  if (fingerprint == 0) return;
+  blacklist_.insert(fingerprint);
+  // A quarantined source must never be served from the artifact cache:
+  // evict its verdicts and compiled images along with the listing.
+  artifacts_.Invalidate(fingerprint);
 }
 
 bool ControlPlane::IsBlacklisted(std::uint64_t fingerprint) const {

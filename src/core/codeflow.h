@@ -56,6 +56,10 @@ struct ControlPlaneConfig {
   bool use_lock = false;
   // Max payload per RDMA WRITE work request.
   std::uint32_t chunk_bytes = 256 * 1024;
+  // Post multi-WR transfers as one doorbell-batched chain (an
+  // ibv_post_send linked list) instead of ringing the doorbell per WR.
+  // Disable to reproduce the serial per-WR posting cost.
+  bool use_doorbell_batching = true;
   // Keyed MAC written into each ImageDesc (integrity, §5). 0 disables.
   std::uint64_t signing_key = 0;
   // How many superseded ImageDescs to keep per hook as rollback targets.
@@ -76,6 +80,46 @@ struct InjectTrace {
   bool compile_cache_hit = false;
   std::uint64_t image_bytes = 0;
   std::uint64_t version = 0;
+};
+
+// Content-addressed JIT artifact cache: verification verdicts and
+// compiled images keyed by source-program fingerprint, shared by every
+// CodeFlow the control plane manages. A fleet deploy validates and
+// compiles once and reuses the artifact for all N targets; a redeploy of
+// an identical program skips both phases entirely. Invalidation is tied
+// to quarantine — blacklisting a fingerprint evicts its artifacts so a
+// quarantined program can never be served from cache again.
+class ArtifactCache {
+ public:
+  // Find* lookups count one hit or miss each; Contains* probes are free.
+  const bool* FindEbpfVerdict(std::uint64_t fp);
+  const bool* FindWasmVerdict(std::uint64_t fp);
+  const bpf::JitImage* FindEbpf(std::uint64_t fp);
+  const wasm::WasmImage* FindWasm(std::uint64_t fp);
+  void PutEbpfVerdict(std::uint64_t fp, bool ok);
+  void PutWasmVerdict(std::uint64_t fp, bool ok);
+  const bpf::JitImage* PutEbpf(std::uint64_t fp, bpf::JitImage image);
+  const wasm::WasmImage* PutWasm(std::uint64_t fp, wasm::WasmImage image);
+  bool ContainsEbpf(std::uint64_t fp) const { return ebpf_.count(fp) != 0; }
+  bool ContainsWasm(std::uint64_t fp) const { return wasm_.count(fp) != 0; }
+  // Evicts every artifact derived from `fp` (verdicts + images).
+  void Invalidate(std::uint64_t fp);
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t invalidations() const { return invalidations_; }
+  std::size_t entries() const {
+    return ebpf_verdicts_.size() + wasm_verdicts_.size() + ebpf_.size() +
+           wasm_.size();
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, bool> ebpf_verdicts_;
+  std::unordered_map<std::uint64_t, bool> wasm_verdicts_;
+  std::unordered_map<std::uint64_t, bpf::JitImage> ebpf_;
+  std::unordered_map<std::uint64_t, wasm::WasmImage> wasm_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t invalidations_ = 0;
 };
 
 // A CodeFlow: the control plane's handle onto one remote sandbox.
@@ -260,6 +304,13 @@ class ControlPlane {
   // Phase 2: atomically swing the hook slot to the prepared desc.
   void CommitPrepared(CodeFlow& flow, int hook, const PreparedImage& prepared,
                       Done done);
+  // Phase 2 by CAS instead of a blind write: swings the slot from
+  // `expected_desc` to the prepared desc and fails with Aborted if the
+  // slot moved (another writer — e.g. a quarantine — won the race). Used
+  // by the pipelined broadcast's fanned-out commit waves.
+  void CommitPreparedCas(CodeFlow& flow, int hook,
+                         const PreparedImage& prepared,
+                         std::uint64_t expected_desc, Done done);
 
   // ---- composed pipelines ----
   // Full injection: validate -> JIT (cached) -> deploy XState -> link ->
@@ -316,8 +367,9 @@ class ControlPlane {
   const ControlPlaneConfig& config() const { return config_; }
   ControlPlaneConfig& mutable_config() { return config_; }
   sim::CpuScheduler& cpu() { return cpu_; }
-  std::uint64_t compile_cache_hits() const { return cache_hits_; }
-  std::uint64_t compile_cache_misses() const { return cache_misses_; }
+  const ArtifactCache& artifact_cache() const { return artifacts_; }
+  std::uint64_t compile_cache_hits() const { return artifacts_.hits(); }
+  std::uint64_t compile_cache_misses() const { return artifacts_.misses(); }
 
  private:
   friend class Inspector;
@@ -329,6 +381,10 @@ class ControlPlane {
   // Posts a WR on the flow's QP; `done` fires with the completion.
   void Post(CodeFlow& flow, rdma::SendWr wr,
             std::function<void(const rdma::WorkCompletion&)> done);
+  // Posts a doorbell-batched chain on the flow's QP; `per_wr_done` fires
+  // once per WR completion (RC order).
+  void PostChain(CodeFlow& flow, std::vector<rdma::SendWr> wrs,
+                 std::function<void(const rdma::WorkCompletion&)> per_wr_done);
   // Shared tail of CreateCodeFlow/ReconnectCodeFlow: RDMA-read the
   // control block, then the symbol table, and populate the flow.
   void Handshake(CodeFlow* flow,
@@ -342,6 +398,13 @@ class ControlPlane {
   // Commits desc_addr into the hook slot and schedules CPU visibility.
   void CommitHook(CodeFlow& flow, int hook, std::uint64_t desc_addr,
                   Done done);
+  // Post-commit tail shared by the write and CAS commit paths: local +
+  // remote epoch bump, then the cc_event flush (or eviction-delay
+  // refresh) that makes the new slot visible to the data-plane CPU.
+  void CommitVisibility(CodeFlow& flow, int hook, Done done);
+  // Updates the flow's per-hook bookkeeping after a successful commit of
+  // `prepared` (history push, reclaim of superseded regions).
+  void RecordCommit(CodeFlow& flow, int hook, const PreparedImage& prepared);
   // Allocates an 8-byte landing buffer in local DRAM for READ/atomics.
   StatusOr<std::uint64_t> LocalScratch(std::uint64_t bytes);
 
@@ -377,12 +440,8 @@ class ControlPlane {
   // Health view: per node, sim time of the last successful completion.
   std::unordered_map<rdma::NodeId, sim::SimTime> last_success_;
 
-  // Compile caches: program fingerprint -> image.
-  std::unordered_map<std::uint64_t, bpf::JitImage> ebpf_cache_;
-  std::unordered_map<std::uint64_t, wasm::WasmImage> wasm_cache_;
-  std::unordered_map<std::uint64_t, bool> verify_cache_;
-  std::uint64_t cache_hits_ = 0;
-  std::uint64_t cache_misses_ = 0;
+  // Content-addressed artifact store: fingerprint -> verdicts + images.
+  ArtifactCache artifacts_;
 
   // Quarantined source-program fingerprints; checked before the verify
   // cache so a blacklisted program is refused even if it verified before.

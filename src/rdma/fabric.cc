@@ -36,6 +36,26 @@ Status QueuePair::PostSend(const SendWr& wr) {
   return OkStatus();
 }
 
+Status QueuePair::PostSendChain(const std::vector<SendWr>& wrs) {
+  if (state_ == QpState::kError) {
+    for (const SendWr& wr : wrs) {
+      WorkCompletion wc;
+      wc.wr_id = wr.wr_id;
+      wc.status = WcStatus::kWorkRequestFlushed;
+      wc.opcode = wr.opcode;
+      wc.qp_num = num_;
+      send_cq_.Push(wc);
+    }
+    return FailedPrecondition("QP in error state");
+  }
+  if (state_ != QpState::kRts) {
+    return FailedPrecondition("QP not ready to send");
+  }
+  if (wrs.empty()) return OkStatus();
+  fabric_.ExecuteChain(*this, wrs);
+  return OkStatus();
+}
+
 Status QueuePair::PostRecv(const RecvWr& wr) {
   if (state_ == QpState::kError) {
     return FailedPrecondition("QP in error state");
@@ -118,6 +138,33 @@ constexpr sim::Duration kRetryExceededDelay = sim::Micros(30);
 }  // namespace
 
 void Fabric::Execute(QueuePair& qp, const SendWr& wr) {
+  ++doorbells_rung_;
+  QpTiming& timing = qp_timing_[qp.num()];
+  const sim::SimTime ready =
+      std::max(events_.Now(), timing.nic_free) + link_.doorbell_latency +
+      link_.wqe_fetch_latency;
+  timing.nic_free = ready;
+  ExecuteOne(qp, wr, ready);
+}
+
+void Fabric::ExecuteChain(QueuePair& qp, const std::vector<SendWr>& wrs) {
+  ++doorbells_rung_;
+  chained_wrs_ += wrs.size();
+  QpTiming& timing = qp_timing_[qp.num()];
+  // One doorbell for the whole chain, then the NIC walks the linked
+  // list: a descriptor fetch per WQE before it can be serialized.
+  const sim::SimTime base =
+      std::max(events_.Now(), timing.nic_free) + link_.doorbell_latency;
+  for (std::size_t i = 0; i < wrs.size(); ++i) {
+    const sim::SimTime ready = base + static_cast<sim::Duration>(i + 1) *
+                                          link_.wqe_fetch_latency;
+    timing.nic_free = ready;
+    ExecuteOne(qp, wrs[i], ready);
+  }
+}
+
+void Fabric::ExecuteOne(QueuePair& qp, const SendWr& wr,
+                        sim::SimTime nic_ready) {
   // Local gather validation happens at post time (RNIC reads the local
   // buffer synchronously via DMA).
   Node& local = *nodes_.at(qp.node());
@@ -147,12 +194,15 @@ void Fabric::Execute(QueuePair& qp, const SendWr& wr) {
   // RC ordering clamps both arrival and completion to post order.
   QpTiming& timing = qp_timing_[qp.num()];
   const sim::SimTime now = events_.Now();
+  // The WQE is NIC-visible only at `nic_ready` (doorbell ring + its
+  // descriptor fetches, chain-amortized by the caller).
+  const sim::SimTime ready = nic_ready;
 
   if (fault.drop) {
     // Lost on the wire: retransmits burn down the retry budget, then the
     // requester reports RETRY_EXCEEDED. Completion order still holds.
     const sim::SimTime completion =
-        std::max(now + kRetryExceededDelay, timing.last_completion);
+        std::max(ready + kRetryExceededDelay, timing.last_completion);
     timing.last_completion = completion;
     events_.ScheduleAt(completion, [this, &qp, wr, now]() {
       OpOutcome dropped;
@@ -164,7 +214,7 @@ void Fabric::Execute(QueuePair& qp, const SendWr& wr) {
     return;
   }
 
-  const sim::SimTime tx_start = std::max(now, timing.wire_free);
+  const sim::SimTime tx_start = std::max(ready, timing.wire_free);
   const double tx_ns =
       static_cast<double>(OutboundBytes(wr)) / link_.bytes_per_ns;
   timing.wire_free = tx_start + static_cast<sim::Duration>(tx_ns);

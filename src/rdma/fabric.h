@@ -66,6 +66,13 @@ class Fabric {
   // Fabric-internal: executes a posted WR. Called by QueuePair::PostSend.
   void Execute(QueuePair& qp, const SendWr& wr);
 
+  // Fabric-internal: executes a doorbell-batched chain of WRs posted by
+  // QueuePair::PostSendChain. One doorbell ring covers the whole chain;
+  // WQE i becomes NIC-visible after the doorbell plus i+1 descriptor
+  // fetches, then the usual per-QP wire serialization and RC ordering
+  // apply.
+  void ExecuteChain(QueuePair& qp, const std::vector<SendWr>& wrs);
+
   sim::EventQueue& events() { return events_; }
   const sim::LinkModel& link() const { return link_; }
 
@@ -80,6 +87,10 @@ class Fabric {
   // Counters for tests/benches.
   std::uint64_t ops_executed() const { return ops_executed_; }
   std::uint64_t bytes_written() const { return bytes_written_; }
+  // Doorbell accounting: every post (single or chained) rings exactly one
+  // doorbell; chained_wrs counts WRs that rode a multi-WR chain.
+  std::uint64_t doorbells_rung() const { return doorbells_rung_; }
+  std::uint64_t chained_wrs() const { return chained_wrs_; }
 
   // Per-QP accounting, recorded when the completion is delivered (so a
   // flushed WR still counts, with its flush latency). Indexed by opcode
@@ -110,6 +121,10 @@ class Fabric {
   OpOutcome ApplyRemote(QueuePair& qp, const SendWr& wr, const Bytes& payload);
   void Complete(QueuePair& qp, const SendWr& wr, const OpOutcome& outcome,
                 sim::SimTime posted_at);
+  // Shared WR execution path: `nic_ready` is the absolute time the NIC
+  // has fetched this WQE and can start serializing it (doorbell +
+  // descriptor fetches; chains amortize the doorbell share).
+  void ExecuteOne(QueuePair& qp, const SendWr& wr, sim::SimTime nic_ready);
 
   sim::EventQueue& events_;
   sim::LinkModel link_;
@@ -118,10 +133,17 @@ class Fabric {
   QpNum next_qp_num_ = 100;
   std::uint64_t ops_executed_ = 0;
   std::uint64_t bytes_written_ = 0;
+  std::uint64_t doorbells_rung_ = 0;
+  std::uint64_t chained_wrs_ = 0;
   // Per-QP wire/ordering state: RC guarantees that work requests are
   // executed and completed in post order, and the sender NIC serializes
   // payloads onto the wire (store-and-forward).
   struct QpTiming {
+    // When the NIC's doorbell/WQE-fetch engine is free for this QP: the
+    // NIC drains one doorbell (and its descriptor fetches) at a time, so
+    // back-to-back single posts serialize their doorbell cost while a
+    // chained post pays it once.
+    sim::SimTime nic_free = 0;
     sim::SimTime wire_free = 0;
     sim::SimTime last_arrival = 0;
     sim::SimTime last_completion = 0;

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "common/status.h"
 #include "rdma/cq.h"
@@ -39,6 +40,12 @@ class QueuePair {
   // Posts a work request to the send queue. In Rts the fabric picks it up
   // immediately (simulated asynchronously); in Error it is flushed.
   Status PostSend(const SendWr& wr);
+
+  // Posts a linked list of work requests with a single doorbell ring
+  // (ibv_post_send with wr.next chaining). The chain shares one MMIO
+  // doorbell; each WQE still pays its descriptor fetch, and RC ordering
+  // across the chain is identical to posting the WRs one by one.
+  Status PostSendChain(const std::vector<SendWr>& wrs);
 
   // Posts a receive buffer for incoming SENDs.
   Status PostRecv(const RecvWr& wr);

@@ -17,6 +17,13 @@ struct LinkModel {
   Duration base_latency = Micros(2);
   // Serialization rate in bytes per nanosecond (12.5 == 100 Gbps).
   double bytes_per_ns = 12.5;
+  // Posting cost, paid on the requester before anything hits the wire:
+  // one MMIO doorbell ring per post (PCIe posted write reaching the NIC),
+  // then one DMA descriptor fetch per WQE. A chained post rings the
+  // doorbell once for the whole linked list, so the doorbell cost is
+  // amortized across the chain while each WQE still pays its fetch.
+  Duration doorbell_latency = Nanos(400);
+  Duration wqe_fetch_latency = Nanos(40);
 
   Duration OneWay(std::size_t payload_bytes) const {
     return base_latency + static_cast<Duration>(
