@@ -74,11 +74,22 @@ int main() {
       rdx_ns.Add(static_cast<std::uint64_t>(MeasureIncoherence(
           /*use_cc_event=*/true, cpki, 2000 + s)));
     }
-    bench::PrintRow(
-        {bench::Fmt(cpki, 0),
-         bench::Fmt(static_cast<double>(vanilla_ns.Percentile(0.5)) / 1e3, 1),
-         bench::Fmt(static_cast<double>(vanilla_ns.Percentile(0.9)) / 1e3, 1),
-         bench::Fmt(static_cast<double>(rdx_ns.Percentile(0.5)) / 1e3, 1)});
+    const double vanilla_med_us =
+        static_cast<double>(vanilla_ns.Percentile(0.5)) / 1e3;
+    const double vanilla_p90_us =
+        static_cast<double>(vanilla_ns.Percentile(0.9)) / 1e3;
+    const double rdx_med_us =
+        static_cast<double>(rdx_ns.Percentile(0.5)) / 1e3;
+    bench::PrintRow({bench::Fmt(cpki, 0), bench::Fmt(vanilla_med_us, 1),
+                     bench::Fmt(vanilla_p90_us, 1),
+                     bench::Fmt(rdx_med_us, 1)});
+    bench::Json json;
+    json.Add("cpki", cpki, 0)
+        .Add("samples", kSamples)
+        .Add("vanilla_med_us", vanilla_med_us, 1)
+        .Add("vanilla_p90_us", vanilla_p90_us, 1)
+        .Add("rdx_med_us", rdx_med_us, 1);
+    bench::PrintBenchJson("fig5_sync_primitives", json);
   }
   std::printf(
       "\nshape check: vanilla median falls as CPKI rises (more evictions) "

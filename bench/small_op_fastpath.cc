@@ -1,0 +1,151 @@
+// Small-op fast path sweep: per-op virtual-time latency for pipelined
+// bursts of one-sided WRITEs, baseline NIC model vs the fast path
+// (inline WQE payloads + selective signaling + warm MTT cache).
+//
+// The baseline configuration models a NIC with no translation cache
+// (`mtt_cache_entries = 0`), payload gather via DMA for every WQE, and a
+// CQE for every WR (signal-all). The fast path posts payloads <= 220 B
+// inline, signals every 8th WR, and runs the default 32-entry MTT. The
+// sweep crosses payload size x MR locality (warm: one MR reused; cold:
+// 64 distinct MRs round-robin, cycling the cache) and reports the per-op
+// latency of 64-deep chains — the regime the RDX control plane lives in
+// (XState primitives, broadcast fan-out, health polls are all <= 220 B).
+//
+// Emits one BENCH_small_op_fastpath.json line per sweep point; the
+// `payload=64 warm` row is the headline the scripts/check.sh perf-smoke
+// gate budgets against (virtual time, so the numbers are deterministic).
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "rdma/fabric.h"
+
+namespace rdx::bench {
+namespace {
+
+constexpr std::uint32_t kAllAccess =
+    rdma::kAccessLocalWrite | rdma::kAccessRemoteRead |
+    rdma::kAccessRemoteWrite | rdma::kAccessRemoteAtomic;
+
+constexpr int kChainLen = 64;
+constexpr int kMrPool = 64;  // cold mode cycles 2x the MTT capacity
+
+struct ModeConfig {
+  const char* name;
+  bool use_inline;
+  std::uint32_t signal_period;  // 0 == signal every WR
+  std::size_t mtt_entries;
+};
+
+struct Result {
+  double ns_per_op;
+  std::uint64_t ops;
+  std::uint64_t inline_wrs;
+  std::uint64_t coalesced;
+  std::uint64_t mtt_hits;
+  std::uint64_t mtt_misses;
+};
+
+Result RunSweepPoint(const ModeConfig& mode, std::uint32_t payload,
+                     bool cold_mtt, int bursts) {
+  sim::EventQueue events;
+  sim::LinkModel link = sim::RdmaLink();
+  link.mtt_cache_entries = mode.mtt_entries;
+  rdma::Fabric fabric(events, link);
+  rdma::Node& a = fabric.AddNode("a", 8u << 20);
+  rdma::Node& b = fabric.AddNode("b", 8u << 20);
+  rdma::CompletionQueue& cq = fabric.CreateCq(a.id());
+  rdma::CompletionQueue& rcq = fabric.CreateCq(b.id());
+  rdma::QueuePair& qp = fabric.CreateQp(a.id(), cq, cq);
+  rdma::QueuePair& rqp = fabric.CreateQp(b.id(), rcq, rcq);
+  if (!fabric.Connect(qp, rqp).ok()) std::abort();
+  qp.SetSignalingPeriod(mode.signal_period);
+
+  // Warm locality reuses one MR pair; cold cycles a pool larger than the
+  // MTT so every translation misses.
+  const int mrs = cold_mtt ? kMrPool : 1;
+  std::vector<std::pair<std::uint64_t, rdma::MemoryRegion>> src(mrs), dst(mrs);
+  for (int i = 0; i < mrs; ++i) {
+    const std::uint64_t sa = a.memory().Allocate(payload, 8).value();
+    src[i] = {sa, a.memory().Register(sa, payload, kAllAccess).value()};
+    const std::uint64_t da = b.memory().Allocate(payload, 8).value();
+    dst[i] = {da, b.memory().Register(da, payload, kAllAccess).value()};
+  }
+
+  const bool inlined = mode.use_inline && payload <= link.max_inline_data;
+  std::uint64_t ops = 0;
+  for (int burst = 0; burst < bursts; ++burst) {
+    std::vector<rdma::SendWr> chain;
+    chain.reserve(kChainLen);
+    for (int i = 0; i < kChainLen; ++i) {
+      const int m = (burst * kChainLen + i) % mrs;
+      rdma::SendWr wr;
+      wr.wr_id = ops + static_cast<std::uint64_t>(i) + 1;
+      wr.opcode = rdma::Opcode::kWrite;
+      wr.local = {src[m].first, payload, src[m].second.lkey};
+      wr.remote_addr = dst[m].first;
+      wr.rkey = dst[m].second.rkey;
+      wr.send_inline = inlined;
+      chain.push_back(wr);
+    }
+    if (!qp.PostSendChain(chain).ok()) std::abort();
+    events.Run();
+    while (!cq.Poll().empty()) {
+    }
+    ops += kChainLen;
+  }
+
+  Result r;
+  r.ns_per_op = static_cast<double>(events.Now()) / static_cast<double>(ops);
+  r.ops = ops;
+  r.inline_wrs = fabric.inline_wrs();
+  r.coalesced = fabric.coalesced_completions();
+  r.mtt_hits = fabric.mtt_hits();
+  r.mtt_misses = fabric.mtt_misses();
+  return r;
+}
+
+int Main() {
+  PrintHeader("small-op fast path: per-op latency, baseline vs fast path",
+              "design study: inline WQE + selective signaling + MTT cache");
+
+  const ModeConfig baseline{"baseline", false, 0, 0};
+  const ModeConfig fastpath{"fastpath", true, 8, 32};
+  const std::uint32_t payloads[] = {8, 64, 220, 512, 4096};
+  const int bursts = ScaledIters(32, 2);
+
+  PrintRow({"payload_B", "locality", "base_ns/op", "fast_ns/op", "speedup",
+            "inline", "coalesced"});
+  for (const bool cold : {false, true}) {
+    for (const std::uint32_t payload : payloads) {
+      const Result base = RunSweepPoint(baseline, payload, cold, bursts);
+      const Result fast = RunSweepPoint(fastpath, payload, cold, bursts);
+      const double speedup = base.ns_per_op / fast.ns_per_op;
+      const char* locality = cold ? "cold" : "warm";
+      PrintRow({FmtInt(payload), locality, Fmt(base.ns_per_op, 1),
+                Fmt(fast.ns_per_op, 1), Fmt(speedup, 2),
+                FmtInt(fast.inline_wrs), FmtInt(fast.coalesced)});
+
+      Json json;
+      json.Add("payload_bytes", static_cast<std::uint64_t>(payload))
+          .Add("locality", std::string(locality))
+          .Add("chain_len", kChainLen)
+          .Add("ops", base.ops)
+          .Add("baseline_ns_per_op", base.ns_per_op, 1)
+          .Add("fastpath_ns_per_op", fast.ns_per_op, 1)
+          .Add("speedup", speedup, 2)
+          .Add("fastpath_inline_wrs", fast.inline_wrs)
+          .Add("fastpath_coalesced", fast.coalesced)
+          .Add("fastpath_mtt_hits", fast.mtt_hits)
+          .Add("fastpath_mtt_misses", fast.mtt_misses);
+      PrintBenchJson("small_op_fastpath", json);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rdx::bench
+
+int main() { return rdx::bench::Main(); }

@@ -10,7 +10,8 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
 
-benches=(fault_recovery guardrail_overhead broadcast_scale)
+benches=(fault_recovery guardrail_overhead broadcast_scale small_op_fastpath
+         fig5_sync_primitives)
 
 cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)" --target "${benches[@]}"

@@ -81,6 +81,42 @@ cmake --build build-werror -j"$(nproc)" --target \
   rdx_common rdx_sim rdx_rdma rdx_bpf rdx_wasm rdx_telemetry \
   rdx_agent rdx_core rdx_fault rdx_mesh rdx_kvstore
 
+echo
+echo "== perf-smoke gate: small_op_fastpath vs checked-in budget =="
+# The bench runs in virtual time, so the smoke numbers are deterministic;
+# the 20% tolerance absorbs deliberate cost-constant recalibration (in
+# which case refresh bench/small_op_fastpath_budget.json) while catching
+# accidental fast-path regressions. The headline row is payload=64 warm —
+# the control plane's common case.
+budget="bench/small_op_fastpath_budget.json"
+row="$(RDX_BENCH_SMOKE=1 ./build/bench/small_op_fastpath \
+       | grep '"payload_bytes": 64, "locality": "warm"')"
+json_field() { sed -n "s/.*\"$2\": \([0-9.][0-9.]*\).*/\1/p" <<<"$1"; }
+base="$(json_field "$row" baseline_ns_per_op)"
+fast="$(json_field "$row" fastpath_ns_per_op)"
+want_base="$(json_field "$(cat "$budget")" baseline_ns_per_op)"
+want_fast="$(json_field "$(cat "$budget")" fastpath_ns_per_op)"
+min_speedup="$(json_field "$(cat "$budget")" min_speedup)"
+awk -v b="$base" -v f="$fast" -v wb="$want_base" -v wf="$want_fast" \
+    -v ms="$min_speedup" 'BEGIN {
+  ok = 1
+  if (f > wf * 1.2 || f < wf * 0.8) {
+    printf "perf gate: fastpath %.1f ns/op outside budget %.1f +/-20%%\n", f, wf
+    ok = 0
+  }
+  if (b > wb * 1.2 || b < wb * 0.8) {
+    printf "perf gate: baseline %.1f ns/op outside budget %.1f +/-20%%\n", b, wb
+    ok = 0
+  }
+  if (b / f < ms) {
+    printf "perf gate: speedup %.2fx below required %.1fx\n", b / f, ms
+    ok = 0
+  }
+  if (!ok) exit 1
+  printf "perf gate OK: %.1f -> %.1f ns/op (%.2fx, budget %.1f +/-20%%)\n",
+         b, f, b / f, wf
+}'
+
 if [[ "${RDX_BENCH_SMOKE:-0}" == "1" ]]; then
   echo
   echo "== bench smoke: every bench binary, tiny iterations =="

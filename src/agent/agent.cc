@@ -289,6 +289,8 @@ AgentController::AgentController(sim::EventQueue& events,
     : events_(events), config_(config), rng_(config.seed) {}
 
 sim::Duration AgentController::SamplePushDelay(std::size_t config_bytes) {
+  // One loaded leg: the config payload rides the push; the ack leg is
+  // subsumed in push_base_delay (sim/network.h charging convention).
   const sim::Duration wire = config_.link.OneWay(config_bytes);
   const sim::Duration jitter = static_cast<sim::Duration>(
       rng_.NextExponential(static_cast<double>(config_.push_jitter_mean)));

@@ -156,6 +156,12 @@ void ControlPlane::Post(
     std::function<void(const rdma::WorkCompletion&)> done) {
   wr.wr_id = next_wr_id_++;
   wr.signaled = true;
+  // Small control writes (commit qwords, cc events, ring cursors, XState
+  // values) ride the WQE itself: no payload DMA fetch, no source MR.
+  if (config_.use_inline && wr.opcode == rdma::Opcode::kWrite &&
+      wr.local.length <= fabric_.link().max_inline_data) {
+    wr.send_inline = true;
+  }
   // Every successful completion renews the target node's health lease.
   const rdma::NodeId target = flow.node_;
   auto recording = [this, target, done = std::move(done)](
@@ -197,13 +203,54 @@ void ControlPlane::PostChain(
         }
         done(wc);
       });
+  // Selective signaling (qp.h) means only every Kth WRITE in the chain
+  // writes a CQE, yet every WR here has a pending_ entry expecting one.
+  // RC ordering closes the gap: when a completion for chain index i
+  // arrives — signaled success, NAK, or flush — every WR before i must
+  // have *succeeded* (the first failure errors the QP at its own index,
+  // and flushes follow it), so their completions are implied. The state
+  // below reconstructs them, in order, before delivering entry i.
+  struct ChainState {
+    std::uint64_t first_id = 0;
+    std::size_t cursor = 0;  // chain index of the next undelivered WR
+    std::vector<std::pair<rdma::Opcode, std::uint32_t>> ops;
+  };
+  auto chain = std::make_shared<ChainState>();
+  chain->first_id = next_wr_id_;
+  chain->ops.reserve(wrs.size());
+  auto deliver = [this, handler, chain](const rdma::WorkCompletion& wc) {
+    const std::size_t idx =
+        static_cast<std::size_t>(wc.wr_id - chain->first_id);
+    while (chain->cursor < idx) {
+      const std::uint64_t id = chain->first_id + chain->cursor;
+      auto it = pending_.find(id);
+      if (it != pending_.end()) {
+        pending_.erase(it);
+        rdma::WorkCompletion implied;
+        implied.wr_id = id;
+        implied.status = rdma::WcStatus::kSuccess;
+        implied.opcode = chain->ops[chain->cursor].first;
+        implied.byte_len = chain->ops[chain->cursor].second;
+        implied.qp_num = wc.qp_num;
+        implied.completed_at = wc.completed_at;
+        (*handler)(implied);
+      }
+      ++chain->cursor;
+    }
+    chain->cursor = idx + 1;
+    (*handler)(wc);
+  };
   for (rdma::SendWr& wr : wrs) {
     wr.wr_id = next_wr_id_++;
-    wr.signaled = true;
-    pending_.emplace(wr.wr_id,
-                     PendingOp{[handler](const rdma::WorkCompletion& wc) {
-                       (*handler)(wc);
-                     }});
+    // The caller's signaled flag is preserved (the QP's signaling period
+    // may still rewrite WRITEs); unsignaled successes are reconstructed
+    // by `deliver` above, so every WR's callback fires exactly once.
+    if (config_.use_inline && wr.opcode == rdma::Opcode::kWrite &&
+        wr.local.length <= fabric_.link().max_inline_data) {
+      wr.send_inline = true;
+    }
+    chain->ops.emplace_back(wr.opcode, wr.local.length);
+    pending_.emplace(wr.wr_id, PendingOp{deliver});
   }
   const Status posted = flow.qp->PostSendChain(wrs);
   if (!posted.ok()) {
@@ -244,6 +291,7 @@ void ControlPlane::CreateCodeFlow(
     done(connected);
     return;
   }
+  local_qp.SetSignalingPeriod(config_.signaling_period);
   flow->qp = &local_qp;
   flow->cq = cq_;
 
@@ -360,6 +408,7 @@ void ControlPlane::ReconnectCodeFlow(CodeFlow& flow, Done done) {
     done(connected);
     return;
   }
+  local_qp.SetSignalingPeriod(config_.signaling_period);
   flow.qp = &local_qp;
   Handshake(&flow, [done = std::move(done)](StatusOr<CodeFlow*> f) {
     done(f.ok() ? OkStatus() : f.status());
@@ -690,11 +739,69 @@ void ControlPlane::CommitHook(CodeFlow& flow, int hook,
   }
   // The commit is a single 8-byte write of the hook slot — atomic with
   // respect to the data-plane CPU, which is the crux of rdx_tx.
-  Bytes qword(8);
-  StoreLE(qword.data(), desc_addr);
   const std::uint64_t slot_addr =
       flow.remote_view_.hook_table_addr + static_cast<std::uint64_t>(hook) * 8;
 
+  if (config_.use_doorbell_batching && config_.use_cc_event) {
+    // Small-op fast path: commit qword + epoch bump + cc_event flush as
+    // ONE doorbell-batched chain. The three ops are ordered by RC anyway,
+    // so splitting them into separate posts only added doorbells and a
+    // full round trip between commit and visibility. The epoch FAA needs
+    // no completion of its own (unsignaled; implied by the tail).
+    auto& mem = fabric_.node(self_).memory();
+    auto slot_src = LocalScratch(8);
+    auto flush_src = LocalScratch(8);
+    auto epoch_landing = LocalScratch(8);
+    if (!slot_src.ok() || !flush_src.ok() || !epoch_landing.ok()) {
+      done(slot_src.ok() ? (flush_src.ok() ? epoch_landing.status()
+                                           : flush_src.status())
+                         : slot_src.status());
+      return;
+    }
+    (void)mem.WriteU64(slot_src.value(), desc_addr);
+
+    rdma::SendWr commit;
+    commit.opcode = rdma::Opcode::kWrite;
+    commit.local = {slot_src.value(), 8, local_mr_.lkey};
+    commit.remote_addr = slot_addr;
+    commit.rkey = flow.rkey;
+
+    rdma::SendWr faa;
+    faa.opcode = rdma::Opcode::kFetchAdd;
+    faa.local = {epoch_landing.value(), 8, local_mr_.lkey};
+    faa.remote_addr = flow.remote_view_.cb_addr + kCbEpoch;
+    faa.rkey = flow.rkey;
+    faa.compare_add = 1;
+    faa.signaled = false;
+
+    rdma::SendWr flush;
+    flush.opcode = rdma::Opcode::kWrite;
+    flush.local = {flush_src.value(), 8, local_mr_.lkey};
+    flush.remote_addr = flow.remote_view_.cb_addr + kCbDoorbell;
+    flush.rkey = flow.rkey;
+
+    ++flow.epoch_;
+    auto remaining = std::make_shared<int>(3);
+    auto failed = std::make_shared<bool>(false);
+    PostChain(flow, {commit, faa, flush},
+              [&flow, hook, remaining, failed,
+               done = std::move(done)](const rdma::WorkCompletion& wc) {
+                if (wc.status != rdma::WcStatus::kSuccess) *failed = true;
+                if (--*remaining != 0) return;
+                if (*failed) {
+                  done(Unavailable("commit chain failed"));
+                  return;
+                }
+                flow.sandbox->ScheduleHookRefresh(
+                    hook, flow.sandbox->VisibilityDelay(
+                              /*coherent_flush=*/true));
+                done(OkStatus());
+              });
+    return;
+  }
+
+  Bytes qword(8);
+  StoreLE(qword.data(), desc_addr);
   auto after_commit = [this, &flow, hook, done = std::move(done)](Status s) {
     if (!s.ok()) {
       done(s);
@@ -708,8 +815,47 @@ void ControlPlane::CommitHook(CodeFlow& flow, int hook,
 
 void ControlPlane::CommitVisibility(CodeFlow& flow, int hook, Done done) {
   ++flow.epoch_;
-  // Bump the remote epoch (fire and forget for timing purposes).
   auto landing = LocalScratch(8);
+  if (config_.use_cc_event && config_.use_doorbell_batching &&
+      landing.ok()) {
+    // Fast path: epoch bump + cc_event flush share one doorbell. The FAA
+    // is unsignaled (fire and forget, implied by the flush completion).
+    auto flush_src = LocalScratch(8);
+    if (flush_src.ok()) {
+      rdma::SendWr faa;
+      faa.opcode = rdma::Opcode::kFetchAdd;
+      faa.local = {landing.value(), 8, local_mr_.lkey};
+      faa.remote_addr = flow.remote_view_.cb_addr + kCbEpoch;
+      faa.rkey = flow.rkey;
+      faa.compare_add = 1;
+      faa.signaled = false;
+
+      rdma::SendWr flush;
+      flush.opcode = rdma::Opcode::kWrite;
+      flush.local = {flush_src.value(), 8, local_mr_.lkey};
+      flush.remote_addr = flow.remote_view_.cb_addr + kCbDoorbell;
+      flush.rkey = flow.rkey;
+
+      auto remaining = std::make_shared<int>(2);
+      auto failed = std::make_shared<bool>(false);
+      PostChain(flow, {faa, flush},
+                [&flow, hook, remaining, failed,
+                 done = std::move(done)](const rdma::WorkCompletion& wc) {
+                  if (wc.status != rdma::WcStatus::kSuccess) *failed = true;
+                  if (--*remaining != 0) return;
+                  if (*failed) {
+                    done(Unavailable("cc_event write failed"));
+                    return;
+                  }
+                  flow.sandbox->ScheduleHookRefresh(
+                      hook, flow.sandbox->VisibilityDelay(
+                                /*coherent_flush=*/true));
+                  done(OkStatus());
+                });
+      return;
+    }
+  }
+  // Bump the remote epoch (fire and forget for timing purposes).
   if (landing.ok()) {
     rdma::SendWr faa;
     faa.opcode = rdma::Opcode::kFetchAdd;
@@ -1970,6 +2116,10 @@ void ControlPlane::FinishQuarantine(CodeFlow& flow, int hook,
     if (good_desc == 0) it->second.fingerprint = 0;
   }
   ++flow.epoch_;
+  // Protection change: a quarantine invalidates the NIC's cached
+  // translations for the flow's control region (MTT shootdown, the
+  // IBV_REREG_MR analog), so the next verb re-walks the host MTT.
+  fabric_.InvalidateMtt(flow.node_, flow.rkey);
   // Remote epoch bump (fire and forget, like CommitHook's).
   auto landing = LocalScratch(8);
   if (landing.ok()) {

@@ -60,6 +60,16 @@ struct ControlPlaneConfig {
   // ibv_post_send linked list) instead of ringing the doorbell per WR.
   // Disable to reproduce the serial per-WR posting cost.
   bool use_doorbell_batching = true;
+  // Small-op fast path: post control-plane WRITEs at or below the link's
+  // max_inline_data as inline WQE payloads (IBV_SEND_INLINE analog), so
+  // the NIC skips the payload DMA fetch and the source-MR lookup.
+  // Disable to reproduce the pre-fast-path posting cost.
+  bool use_inline = true;
+  // Selective-signaling period applied to the flow's QP: within a
+  // doorbell-batched chain, only every Kth WRITE (and always the chain
+  // tail) writes a CQE; the control plane reconstructs the implied
+  // completions from RC ordering. 0/1 signals every WR.
+  std::uint32_t signaling_period = 4;
   // Keyed MAC written into each ImageDesc (integrity, §5). 0 disables.
   std::uint64_t signing_key = 0;
   // How many superseded ImageDescs to keep per hook as rollback targets.

@@ -126,6 +126,10 @@ rdma::FaultHook::WireFault FaultInjector::OnExecute(const rdma::QueuePair& qp,
         if (rng_.NextBool(w.probability)) fault.drop = true;
         break;
       case FaultKind::kDegrade: {
+        // Scales the loaded request leg only (header + outbound payload;
+        // READ requests carry no payload so they degrade by header cost
+        // alone). See the serialization-charging convention in
+        // sim/network.h: each leg is charged once, where the bytes move.
         const std::size_t bytes = 64 + payload->size();
         fault.extra_latency += static_cast<sim::Duration>(
             (w.factor - 1.0) *

@@ -37,11 +37,18 @@ class CompletionQueue {
   std::size_t Depth() const { return entries_.size(); }
   std::uint64_t overruns() const { return overruns_; }
 
+  // Fabric-side: record that a successful unsignaled WR retired without a
+  // CQE — its completion is implied by the next signaled/errored entry on
+  // the same QP (RC ordering). Exported as the `cq.coalesced` counter.
+  void NoteCoalesced() { ++coalesced_; }
+  std::uint64_t coalesced() const { return coalesced_; }
+
  private:
   std::uint32_t capacity_;
   std::deque<WorkCompletion> entries_;
   std::function<bool(const WorkCompletion&)> notify_;
   std::uint64_t overruns_ = 0;
+  std::uint64_t coalesced_ = 0;
 };
 
 }  // namespace rdx::rdma

@@ -32,6 +32,11 @@ Status QueuePair::PostSend(const SendWr& wr) {
   if (state_ != QpState::kRts) {
     return FailedPrecondition("QP not ready to send");
   }
+  if (wr.send_inline &&
+      (wr.opcode == Opcode::kWrite || wr.opcode == Opcode::kSend) &&
+      wr.local.length > fabric_.link().max_inline_data) {
+    return InvalidArgument("inline payload exceeds max_inline_data");
+  }
   fabric_.Execute(*this, wr);
   return OkStatus();
 }
@@ -52,7 +57,36 @@ Status QueuePair::PostSendChain(const std::vector<SendWr>& wrs) {
     return FailedPrecondition("QP not ready to send");
   }
   if (wrs.empty()) return OkStatus();
-  fabric_.ExecuteChain(*this, wrs);
+  for (const SendWr& wr : wrs) {
+    if (wr.send_inline &&
+        (wr.opcode == Opcode::kWrite || wr.opcode == Opcode::kSend) &&
+        wr.local.length > fabric_.link().max_inline_data) {
+      return InvalidArgument("inline payload exceeds max_inline_data");
+    }
+  }
+  if (signal_period_ <= 1) {
+    fabric_.ExecuteChain(*this, wrs);
+    return OkStatus();
+  }
+  // Selective signaling: within the chain, WRITEs signal only every
+  // `signal_period_`-th WR. Data-returning ops (READ/atomics) and SENDs
+  // keep their caller-set flag — their consumers need the completion.
+  // The tail is always signaled so the poster can learn the chain
+  // retired; failed WRs signal regardless of the flag (see Complete).
+  std::vector<SendWr> rewritten = wrs;
+  for (std::size_t i = 0; i + 1 < rewritten.size(); ++i) {
+    SendWr& wr = rewritten[i];
+    if (wr.opcode != Opcode::kWrite) continue;
+    if (++unsignaled_run_ >= signal_period_) {
+      wr.signaled = true;
+      unsignaled_run_ = 0;
+    } else {
+      wr.signaled = false;
+    }
+  }
+  rewritten.back().signaled = true;
+  unsignaled_run_ = 0;
+  fabric_.ExecuteChain(*this, rewritten);
   return OkStatus();
 }
 
@@ -67,7 +101,50 @@ Status QueuePair::PostRecv(const RecvWr& wr) {
 Node& Fabric::AddNode(std::string name, std::uint64_t memory_bytes) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(std::make_unique<Node>(id, std::move(name), memory_bytes));
-  return *nodes_.back();
+  Node& n = *nodes_.back();
+  // Deregistering an MR shoots down any cached translation of its keys
+  // (the RNIC must not honor a stale MTT entry after dereg).
+  n.memory_.SetDeregisterHook([this, id](MemoryKey lkey, MemoryKey rkey) {
+    InvalidateMtt(id, lkey);
+    InvalidateMtt(id, rkey);
+  });
+  return n;
+}
+
+void Fabric::InvalidateMtt(NodeId node, MemoryKey key) {
+  // Both lkey and rkey translations of a node's memory live in the caches
+  // of QPs hosted on that node (requester role caches lkeys, responder
+  // role caches rkeys).
+  for (auto& qp : nodes_.at(node)->qps_) {
+    auto it = qp_mtt_.find(qp->num());
+    if (it != qp_mtt_.end()) it->second.Invalidate(key);
+  }
+}
+
+MttCache& Fabric::MttFor(QpNum num) {
+  auto it = qp_mtt_.find(num);
+  if (it == qp_mtt_.end()) {
+    it = qp_mtt_.emplace(num, MttCache(link_.mtt_cache_entries)).first;
+  }
+  return it->second;
+}
+
+std::uint64_t Fabric::mtt_hits() const {
+  std::uint64_t total = 0;
+  for (const auto& [num, cache] : qp_mtt_) total += cache.hits();
+  return total;
+}
+
+std::uint64_t Fabric::mtt_misses() const {
+  std::uint64_t total = 0;
+  for (const auto& [num, cache] : qp_mtt_) total += cache.misses();
+  return total;
+}
+
+std::uint64_t Fabric::mtt_invalidations() const {
+  std::uint64_t total = 0;
+  for (const auto& [num, cache] : qp_mtt_) total += cache.invalidations();
+  return total;
 }
 
 CompletionQueue& Fabric::CreateCq(NodeId node, std::uint32_t capacity) {
@@ -143,7 +220,8 @@ void Fabric::Execute(QueuePair& qp, const SendWr& wr) {
   const sim::SimTime ready =
       std::max(events_.Now(), timing.nic_free) + link_.doorbell_latency +
       link_.wqe_fetch_latency;
-  timing.nic_free = ready;
+  // ExecuteOne advances timing.nic_free past `ready` by the per-WQE
+  // processing costs (MTT lookup, payload DMA fetch).
   ExecuteOne(qp, wr, ready);
 }
 
@@ -152,29 +230,39 @@ void Fabric::ExecuteChain(QueuePair& qp, const std::vector<SendWr>& wrs) {
   chained_wrs_ += wrs.size();
   QpTiming& timing = qp_timing_[qp.num()];
   // One doorbell for the whole chain, then the NIC walks the linked
-  // list: a descriptor fetch per WQE before it can be serialized.
+  // list: a descriptor fetch per WQE before it can be serialized, and
+  // WQE i+1's processing cannot start before WQE i's finished (single
+  // per-QP processing pipeline, tracked by nic_free).
   const sim::SimTime base =
       std::max(events_.Now(), timing.nic_free) + link_.doorbell_latency;
   for (std::size_t i = 0; i < wrs.size(); ++i) {
-    const sim::SimTime ready = base + static_cast<sim::Duration>(i + 1) *
-                                          link_.wqe_fetch_latency;
-    timing.nic_free = ready;
+    const sim::SimTime fetched = base + static_cast<sim::Duration>(i + 1) *
+                                            link_.wqe_fetch_latency;
+    const sim::SimTime ready = std::max(fetched, timing.nic_free);
     ExecuteOne(qp, wrs[i], ready);
   }
 }
 
 void Fabric::ExecuteOne(QueuePair& qp, const SendWr& wr,
                         sim::SimTime nic_ready) {
-  // Local gather validation happens at post time (RNIC reads the local
-  // buffer synchronously via DMA).
+  // Local gather validation happens at post time. Inline payloads are
+  // copied into the WQE by the CPU (no MR lookup, only bounds apply);
+  // everything else is gathered by the RNIC via DMA against the lkey.
   Node& local = *nodes_.at(qp.node());
   OpOutcome preflight;
 
+  const bool is_payload_op =
+      wr.opcode == Opcode::kWrite || wr.opcode == Opcode::kSend;
+  const bool is_inline = wr.send_inline && is_payload_op &&
+                         wr.local.length <= link_.max_inline_data;
+
   Bytes payload;
-  if (wr.opcode == Opcode::kWrite || wr.opcode == Opcode::kSend) {
+  if (is_payload_op) {
     payload.resize(wr.local.length);
-    Status s = local.memory().DmaRead(wr.local.lkey, /*remote=*/false,
-                                      wr.local.addr, payload);
+    Status s = is_inline
+                   ? local.memory().Read(wr.local.addr, payload)
+                   : local.memory().DmaRead(wr.local.lkey, /*remote=*/false,
+                                            wr.local.addr, payload);
     if (!s.ok()) {
       preflight.status = WcStatus::kLocalProtectionError;
       Complete(qp, wr, preflight, events_.Now());
@@ -194,15 +282,31 @@ void Fabric::ExecuteOne(QueuePair& qp, const SendWr& wr,
   // RC ordering clamps both arrival and completion to post order.
   QpTiming& timing = qp_timing_[qp.num()];
   const sim::SimTime now = events_.Now();
-  // The WQE is NIC-visible only at `nic_ready` (doorbell ring + its
-  // descriptor fetches, chain-amortized by the caller).
-  const sim::SimTime ready = nic_ready;
+  // The WQE is NIC-visible at `nic_ready` (doorbell ring + descriptor
+  // fetches, chain-amortized by the caller); per-WQE processing then
+  // adds the local MTT translation and, for non-inline payloads, the
+  // payload DMA fetch from host memory. Inline payloads skip both — the
+  // data already rode the descriptor.
+  sim::Duration nic_extra = 0;
+  if (is_inline) {
+    ++inline_wrs_;
+    ++qp_stats_[qp.num()].inline_wrs;
+  } else if (wr.local.length > 0) {
+    nic_extra += MttFor(qp.num()).Lookup(wr.local.lkey)
+                     ? link_.mtt_hit_latency
+                     : link_.mtt_miss_latency;
+    if (is_payload_op) nic_extra += link_.payload_fetch_latency;
+  }
+  const sim::SimTime ready = nic_ready + nic_extra;
+  timing.nic_free = std::max(timing.nic_free, ready);
 
   if (fault.drop) {
     // Lost on the wire: retransmits burn down the retry budget, then the
-    // requester reports RETRY_EXCEEDED. Completion order still holds.
+    // requester reports RETRY_EXCEEDED. Completion order still holds,
+    // and the error CQE pays its write-back like any other.
     const sim::SimTime completion =
-        std::max(ready + kRetryExceededDelay, timing.last_completion);
+        std::max(ready + kRetryExceededDelay, timing.last_completion) +
+        link_.cqe_write_latency;
     timing.last_completion = completion;
     events_.ScheduleAt(completion, [this, &qp, wr, now]() {
       OpOutcome dropped;
@@ -218,8 +322,16 @@ void Fabric::ExecuteOne(QueuePair& qp, const SendWr& wr,
   const double tx_ns =
       static_cast<double>(OutboundBytes(wr)) / link_.bytes_per_ns;
   timing.wire_free = tx_start + static_cast<sim::Duration>(tx_ns);
-  sim::SimTime arrival =
-      timing.wire_free + link_.base_latency + fault.extra_latency;
+  // The responder NIC resolves the rkey before applying the op: its own
+  // MTT cache (the remote end of this connection), hit or miss.
+  sim::Duration remote_lookup = 0;
+  if (wr.opcode != Opcode::kSend) {
+    remote_lookup = MttFor(qp.remote_qp()).Lookup(wr.rkey)
+                        ? link_.mtt_hit_latency
+                        : link_.mtt_miss_latency;
+  }
+  sim::SimTime arrival = timing.wire_free + link_.base_latency +
+                         fault.extra_latency + remote_lookup;
   arrival = std::max(arrival, timing.last_arrival);
   timing.last_arrival = arrival;
   const sim::Duration response = link_.OneWay(ResponseBytes(wr));
@@ -237,7 +349,8 @@ void Fabric::ExecuteOne(QueuePair& qp, const SendWr& wr,
       // of whatever WR killed the QP (RC completion order).
       QpTiming& t = qp_timing_[qp.num()];
       const sim::SimTime flush_at =
-          std::max(events_.Now(), t.last_completion);
+          std::max(events_.Now(), t.last_completion) +
+          link_.cqe_write_latency;
       t.last_completion = flush_at;
       events_.ScheduleAt(flush_at, [this, &qp, wr, now]() {
         OpOutcome flushed;
@@ -263,8 +376,13 @@ void Fabric::ExecuteOne(QueuePair& qp, const SendWr& wr,
     }
     ++ops_executed_;
     QpTiming& t = qp_timing_[qp.num()];
+    // Unsignaled successes retire without a CQE write-back; signaled WRs
+    // and failures (which always produce an error CQE) pay for theirs.
+    const bool writes_cqe =
+        wr_copy.signaled || outcome.status != WcStatus::kSuccess;
     sim::SimTime completion =
-        std::max(events_.Now() + response, t.last_completion);
+        std::max(events_.Now() + response, t.last_completion) +
+        (writes_cqe ? link_.cqe_write_latency : sim::Duration{0});
     t.last_completion = completion;
     events_.ScheduleAt(completion, [this, &qp, wr_copy, outcome, now]() {
       Complete(qp, wr_copy, outcome, now);
@@ -404,6 +522,9 @@ void Fabric::Complete(QueuePair& qp, const SendWr& wr,
 
   if (fault_hook_ != nullptr) fault_hook_->OnComplete(qp, wr, status);
 
+  // Verbs error semantics: failures ALWAYS produce an error completion,
+  // in order, even for unsignaled WRs — only unsignaled *successes* are
+  // coalesced into the next delivered entry (implied by RC ordering).
   if (wr.signaled || status != WcStatus::kSuccess) {
     WorkCompletion wc;
     wc.wr_id = wr.wr_id;
@@ -414,6 +535,11 @@ void Fabric::Complete(QueuePair& qp, const SendWr& wr,
     wc.completed_at = events_.Now();
     wc.atomic_original = outcome.atomic_original;
     qp.send_cq().Push(wc);
+  } else {
+    ++unsignaled_wrs_;
+    ++stats.unsignaled;
+    ++coalesced_completions_;
+    qp.send_cq().NoteCoalesced();
   }
 }
 

@@ -16,6 +16,7 @@
 #include "rdma/cq.h"
 #include "rdma/fault_hook.h"
 #include "rdma/memory.h"
+#include "rdma/mtt.h"
 #include "rdma/qp.h"
 #include "rdma/types.h"
 #include "sim/event_queue.h"
@@ -84,6 +85,12 @@ class Fabric {
   // plus QPs on other nodes whose connection terminates there.
   std::vector<QueuePair*> QpsTouching(NodeId node);
 
+  // MTT shootdown: drops cached translations for `key` from every QP
+  // hosted on `node` (the node that owns the registered memory). Called
+  // automatically on MR deregistration via the HostMemory hook, and by
+  // the control plane when quarantining a flow (protection change).
+  void InvalidateMtt(NodeId node, MemoryKey key);
+
   // Counters for tests/benches.
   std::uint64_t ops_executed() const { return ops_executed_; }
   std::uint64_t bytes_written() const { return bytes_written_; }
@@ -91,6 +98,16 @@ class Fabric {
   // doorbell; chained_wrs counts WRs that rode a multi-WR chain.
   std::uint64_t doorbells_rung() const { return doorbells_rung_; }
   std::uint64_t chained_wrs() const { return chained_wrs_; }
+  // Small-op fast path accounting.
+  std::uint64_t inline_wrs() const { return inline_wrs_; }
+  std::uint64_t unsignaled_wrs() const { return unsignaled_wrs_; }
+  std::uint64_t coalesced_completions() const {
+    return coalesced_completions_;
+  }
+  // MTT cache totals, summed across all per-QP caches.
+  std::uint64_t mtt_hits() const;
+  std::uint64_t mtt_misses() const;
+  std::uint64_t mtt_invalidations() const;
 
   // Per-QP accounting, recorded when the completion is delivered (so a
   // flushed WR still counts, with its flush latency). Indexed by opcode
@@ -101,6 +118,10 @@ class Fabric {
     std::uint64_t bytes_out = 0;
     std::uint64_t bytes_in = 0;
     std::uint64_t ops_by_opcode[5] = {0, 0, 0, 0, 0};
+    // Fast-path accounting: WRs whose payload rode the WQE, and
+    // successful WRs retired without a CQE (selective signaling).
+    std::uint64_t inline_wrs = 0;
+    std::uint64_t unsignaled = 0;
     Histogram latency_ns;  // post-to-completion, virtual ns
   };
   const std::unordered_map<QpNum, QpStats>& qp_stats() const {
@@ -122,9 +143,15 @@ class Fabric {
   void Complete(QueuePair& qp, const SendWr& wr, const OpOutcome& outcome,
                 sim::SimTime posted_at);
   // Shared WR execution path: `nic_ready` is the absolute time the NIC
-  // has fetched this WQE and can start serializing it (doorbell +
-  // descriptor fetches; chains amortize the doorbell share).
+  // has fetched this WQE and can start processing it (doorbell +
+  // descriptor fetches; chains amortize the doorbell share). ExecuteOne
+  // adds the per-WQE processing costs (MTT translation, payload DMA
+  // fetch for non-inline payloads) and advances the QP's nic_free
+  // cursor, so processing serializes across back-to-back WRs.
   void ExecuteOne(QueuePair& qp, const SendWr& wr, sim::SimTime nic_ready);
+
+  // Per-QP MTT cache, created on first use with the link's capacity.
+  MttCache& MttFor(QpNum num);
 
   sim::EventQueue& events_;
   sim::LinkModel link_;
@@ -135,6 +162,9 @@ class Fabric {
   std::uint64_t bytes_written_ = 0;
   std::uint64_t doorbells_rung_ = 0;
   std::uint64_t chained_wrs_ = 0;
+  std::uint64_t inline_wrs_ = 0;
+  std::uint64_t unsignaled_wrs_ = 0;
+  std::uint64_t coalesced_completions_ = 0;
   // Per-QP wire/ordering state: RC guarantees that work requests are
   // executed and completed in post order, and the sender NIC serializes
   // payloads onto the wire (store-and-forward).
@@ -150,6 +180,10 @@ class Fabric {
   };
   std::unordered_map<QpNum, QpTiming> qp_timing_;
   std::unordered_map<QpNum, QpStats> qp_stats_;
+  // Per-QP NIC translation caches: the requester QP caches lkeys of its
+  // own node's memory; in the responder role the same QP caches rkeys
+  // (both keys come from the one HostMemory, so they never collide).
+  std::unordered_map<QpNum, MttCache> qp_mtt_;
 };
 
 }  // namespace rdx::rdma

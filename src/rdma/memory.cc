@@ -59,8 +59,10 @@ StatusOr<MemoryRegion> HostMemory::Register(std::uint64_t addr,
 Status HostMemory::Deregister(MemoryKey lkey) {
   auto it = regions_by_lkey_.find(lkey);
   if (it == regions_by_lkey_.end()) return NotFound("unknown lkey");
-  lkey_by_rkey_.erase(it->second.rkey);
+  const MemoryKey rkey = it->second.rkey;
+  lkey_by_rkey_.erase(rkey);
   regions_by_lkey_.erase(it);
+  if (dereg_hook_) dereg_hook_(lkey, rkey);
   return OkStatus();
 }
 

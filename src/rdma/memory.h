@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
@@ -43,6 +44,13 @@ class HostMemory {
   StatusOr<MemoryRegion> Register(std::uint64_t addr, std::uint64_t length,
                                   std::uint32_t access);
   Status Deregister(MemoryKey lkey);
+
+  // Invoked on successful Deregister with the region's (lkey, rkey), so
+  // the RNIC model can shoot down cached MTT translations (rdma/mtt.h).
+  void SetDeregisterHook(
+      std::function<void(MemoryKey lkey, MemoryKey rkey)> hook) {
+    dereg_hook_ = std::move(hook);
+  }
 
   // Direct CPU window over DRAM (no MR checks — the local CPU is not
   // subject to RNIC protection). Caller must keep addr/len in bounds;
@@ -108,6 +116,7 @@ class HostMemory {
   std::unordered_map<MemoryKey, MemoryRegion> regions_by_lkey_;
   std::unordered_map<MemoryKey, MemoryKey> lkey_by_rkey_;
   MemoryKey next_key_ = 0x1000;
+  std::function<void(MemoryKey, MemoryKey)> dereg_hook_;
 };
 
 }  // namespace rdx::rdma

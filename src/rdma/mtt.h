@@ -1,0 +1,73 @@
+// Per-QP memory translation table (MTT) cache model. A real RNIC keeps
+// recently-used MR translations in on-die SRAM; a hit folds into WQE
+// processing (~15 ns), a miss walks the host-resident MTT over PCIe
+// (~450 ns). This mirrors how sim/cache.h models CPU-side residency:
+// the cache only decides which *latency* to charge — correctness (bounds,
+// permissions) is always enforced by HostMemory regardless of hit/miss.
+//
+// Entries are invalidated when an MR is deregistered (Fabric installs a
+// HostMemory deregister hook) and when the control plane quarantines a
+// flow (protection-change shootdown, same mechanism real NICs use for
+// IBV_REREG_MR). Capacity 0 disables the cache: every lookup is cold,
+// which is the pre-fast-path behavior and the bench baseline config.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "rdma/types.h"
+
+namespace rdx::rdma {
+
+class MttCache {
+ public:
+  explicit MttCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  // Returns true on hit. On miss the key is installed (evicting the
+  // least-recently-used entry at capacity) so the next lookup hits.
+  bool Lookup(MemoryKey key) {
+    if (capacity_ == 0) {
+      ++misses_;
+      return false;
+    }
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      return true;
+    }
+    ++misses_;
+    lru_.push_front(key);
+    index_[key] = lru_.begin();
+    if (lru_.size() > capacity_) {
+      index_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    return false;
+  }
+
+  // Shootdown: drop the translation if cached (dereg / quarantine).
+  void Invalidate(MemoryKey key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++invalidations_;
+  }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t invalidations() const { return invalidations_; }
+  std::size_t size() const { return lru_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::list<MemoryKey> lru_;
+  std::unordered_map<MemoryKey, std::list<MemoryKey>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t invalidations_ = 0;
+};
+
+}  // namespace rdx::rdma

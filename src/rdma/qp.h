@@ -50,6 +50,16 @@ class QueuePair {
   // Posts a receive buffer for incoming SENDs.
   Status PostRecv(const RecvWr& wr);
 
+  // Selective-signaling period for chained posts: within PostSendChain,
+  // non-tail WRITE WRs are signaled only every `period`-th WR; the chain
+  // tail is ALWAYS signaled so a poller is never stranded waiting on a
+  // fully-unsignaled chain (the run counter resets at each tail).
+  // 0 or 1 disables the rewrite and honors each WR's own flag.
+  // Non-WRITE WRs (READ/atomics/SEND) keep their caller-set flag — their
+  // consumers need the returned data. Singleton PostSend is untouched.
+  void SetSignalingPeriod(std::uint32_t period) { signal_period_ = period; }
+  std::uint32_t signaling_period() const { return signal_period_; }
+
   // Used by Fabric.
   void SetConnected(NodeId remote_node, QpNum remote_qp) {
     remote_node_ = remote_node;
@@ -75,6 +85,8 @@ class QueuePair {
   NodeId remote_node_ = kInvalidNode;
   QpNum remote_qp_ = 0;
   std::deque<RecvWr> recv_queue_;
+  std::uint32_t signal_period_ = 0;
+  std::uint32_t unsignaled_run_ = 0;
 };
 
 }  // namespace rdx::rdma

@@ -62,7 +62,16 @@ struct SendWr {
   // the new value; kFetchAdd uses compare_add as the addend.
   std::uint64_t compare_add = 0;
   std::uint64_t swap = 0;
-  bool signaled = true;  // unsignaled WRs produce no completion entry
+  // Unsignaled WRs produce no completion entry on success; failures
+  // (NAK, flush) ALWAYS produce an in-order error completion regardless
+  // of this flag, per verbs semantics.
+  bool signaled = true;
+  // IBV_SEND_INLINE analog: copy the payload into the WQE at post time.
+  // Only meaningful for kWrite/kSend with length <= max_inline_data; the
+  // NIC then skips the payload DMA fetch and needs no source MR (the
+  // lkey is ignored, only the address/length are read by the CPU).
+  // Posting an oversize inline WR fails with InvalidArgument.
+  bool send_inline = false;
 };
 
 // Receive work request (two-sided path).

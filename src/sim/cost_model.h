@@ -50,6 +50,28 @@ struct CostModel {
   // Cache-coherent event injection (rdx_cc_event), see sim/cache.h.
   Duration rdx_cc_event_latency = Micros(2);
 
+  // ---- Small-op fast path (constants live in sim/network.h) ------------
+  // The per-WQE NIC costs for the small-op fast path are LinkModel fields
+  // because they are properties of the NIC/PCIe complex, not the host CPU;
+  // their calibration rationale is recorded here so this file stays the
+  // one place to question a number:
+  //  - max_inline_data = 220 B: mlx5's classic cap for a 256 B WQE --
+  //    four 64 B segments minus the ctrl (16 B) + raddr (16 B) segments,
+  //    with a 4 B inline header. Anything larger must be gathered by DMA.
+  //  - payload_fetch_latency = 250 ns: one PCIe Gen3 round trip (~400 ns
+  //    idle is the *doorbell* posted-write figure; a DMA read completes in
+  //    ~250 ns amortized because the NIC pipelines the request with WQE
+  //    parse). This is the leg INLINE sends skip entirely.
+  //  - mtt_hit = 15 ns / mtt_miss = 450 ns: on-die translation SRAM vs. a
+  //    host MTT walk over PCIe; the ~30x split matches published ConnectX
+  //    microbenchmarks where dereg/invalidation storms cost ~0.5 us/op.
+  //  - mtt_cache_entries = 32 per QP: small on purpose -- the point is
+  //    locality, and RDX's steady state touches O(1) MRs per QP (control
+  //    block, trace ring, code region).
+  //  - cqe_write_latency = 120 ns: one posted DMA write of a 64 B CQE plus
+  //    host cacheline ownership transfer. Selective signaling (signal
+  //    every Kth WR) divides this by K on the hot path.
+
   // ---- Data-path request service demands --------------------------------
   // One microservice hop handling an RPC (parse + business logic + filter
   // chain), ~20 us of CPU.

@@ -4,6 +4,16 @@
 //  - the agent control channel (gRPC/TCP over the same wire): tens of us
 //    of stack latency, used by the baseline controller -> agent pushes.
 // Constants are calibrated to a 100 Gbps rack fabric (see cost_model.h).
+//
+// Serialization-charging convention (audited, keep it this way): payload
+// bytes are charged exactly once, on the leg that actually carries them.
+// WRITE/SEND serialize on the *request* leg; READ responses and atomic
+// return values serialize on the *response* leg (fabric.cc charges
+// OneWay(ResponseBytes(wr)) for the ACK/response). RoundTrip(payload)
+// therefore means "one loaded leg + one empty leg" and must never be
+// applied to an op whose request AND response both carry payload (no such
+// verb exists in this model). Callers that only move payload one way --
+// the agent config push, the injector's degrade math -- use OneWay.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +34,35 @@ struct LinkModel {
   // amortized across the chain while each WQE still pays its fetch.
   Duration doorbell_latency = Nanos(400);
   Duration wqe_fetch_latency = Nanos(40);
+
+  // -- Small-op fast path ---------------------------------------------
+  // Inline WQE payloads (the IBV_SEND_INLINE analog): a WRITE/SEND whose
+  // payload fits in the WQE rides the descriptor fetch itself -- no
+  // separate payload DMA read from host memory and no source-MR lookup.
+  // 220 B matches the common mlx5 cap for a 256 B WQE (4 x 64 B segments
+  // minus ctrl + remote-address segments).
+  std::size_t max_inline_data = 220;
+  // Non-inline WRITE/SEND payloads cost one extra PCIe DMA read from the
+  // source buffer before the first byte can hit the wire (~250 ns: one
+  // PCIe round trip + DMA engine turnaround at typical rack load).
+  Duration payload_fetch_latency = Nanos(250);
+
+  // MR translation (MTT) lookup, paid per WQE that references a memory
+  // region. A hit in the NIC's on-die translation cache is ~15 ns (SRAM
+  // lookup folded into WQE processing); a miss walks the host-resident
+  // MTT over PCIe, ~450 ns (same order as the payload DMA fetch).
+  // Capacity is per-QP cached translation entries; 0 disables the cache
+  // and makes every lookup cold (the pre-fast-path behavior, kept as the
+  // bench baseline configuration).
+  Duration mtt_hit_latency = Nanos(15);
+  Duration mtt_miss_latency = Nanos(450);
+  std::size_t mtt_cache_entries = 32;
+
+  // Writing a CQE back to the host completion queue costs one posted DMA
+  // write (~120 ns). Unsignaled WRs skip it entirely -- that is the whole
+  // point of selective signaling -- so a chain signaling every Kth WR
+  // amortizes this to 120/K ns per op.
+  Duration cqe_write_latency = Nanos(120);
 
   Duration OneWay(std::size_t payload_bytes) const {
     return base_latency + static_cast<Duration>(

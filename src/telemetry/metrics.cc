@@ -44,6 +44,13 @@ std::string MetricsRegistry::SnapshotJson() const {
 void CaptureFabricMetrics(MetricsRegistry& reg, const rdma::Fabric& fabric) {
   reg.SetCounter("rdma.ops_executed", fabric.ops_executed());
   reg.SetCounter("rdma.bytes_written", fabric.bytes_written());
+  // Small-op fast path: inline WQEs, coalesced completions, MTT cache.
+  reg.SetCounter("rdma.qp.inline_wrs", fabric.inline_wrs());
+  reg.SetCounter("rdma.qp.unsignaled", fabric.unsignaled_wrs());
+  reg.SetCounter("rdma.cq.coalesced", fabric.coalesced_completions());
+  reg.SetCounter("rdma.mtt.hits", fabric.mtt_hits());
+  reg.SetCounter("rdma.mtt.misses", fabric.mtt_misses());
+  reg.SetCounter("rdma.mtt.invalidations", fabric.mtt_invalidations());
 
   std::uint64_t total_ops = 0, total_failures = 0;
   Histogram merged;
@@ -55,6 +62,12 @@ void CaptureFabricMetrics(MetricsRegistry& reg, const rdma::Fabric& fabric) {
     reg.SetCounter(p + ".failures", stats.failures);
     reg.SetCounter(p + ".bytes_out", stats.bytes_out);
     reg.SetCounter(p + ".bytes_in", stats.bytes_in);
+    if (stats.inline_wrs != 0) {
+      reg.SetCounter(p + ".inline_wrs", stats.inline_wrs);
+    }
+    if (stats.unsignaled != 0) {
+      reg.SetCounter(p + ".unsignaled", stats.unsignaled);
+    }
     for (int op = 0; op < 5; ++op) {
       if (stats.ops_by_opcode[op] == 0) continue;
       reg.SetCounter(p + ".ops." + kOpcodeNames[op],

@@ -463,6 +463,232 @@ TEST(Fabric, ErrorFlushesInFlightWrs) {
   EXPECT_EQ(net.b->memory().ReadU64(dst).value(), 0u);
 }
 
+// ---- small-op fast path: inline WQE payloads ----
+
+TEST(Inline, WriteDeliversIdenticalBytesWithoutSourceMr) {
+  TwoNodes net;
+  // The source buffer is NOT registered: inline payloads are copied into
+  // the WQE by the CPU at post time, so no lkey / source MR is needed.
+  const std::uint64_t src = net.a->memory().Allocate(256, 8).value();
+  auto [dst, dst_mr] = net.Buffer(*net.b, 256, kAllAccess);
+  Bytes pattern(200);
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  }
+  ASSERT_TRUE(net.a->memory().Write(src, pattern).ok());
+
+  SendWr wr;
+  wr.wr_id = 1;
+  wr.opcode = Opcode::kWrite;
+  wr.local = {src, 200, /*lkey=*/0};
+  wr.remote_addr = dst;
+  wr.rkey = dst_mr.rkey;
+  wr.send_inline = true;
+  ASSERT_TRUE(net.qp_a->PostSend(wr).ok());
+  net.events.Run();
+
+  auto wcs = net.cq_a->Poll();
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].status, WcStatus::kSuccess);
+  Bytes out(200);
+  ASSERT_TRUE(net.b->memory().Read(dst, out).ok());
+  EXPECT_EQ(out, pattern);
+  EXPECT_EQ(net.fabric.inline_wrs(), 1u);
+  EXPECT_EQ(net.fabric.qp_stats().at(net.qp_a->num()).inline_wrs, 1u);
+}
+
+TEST(Inline, OversizePostRejectedWithoutCompletion) {
+  TwoNodes net;
+  auto [src, src_mr] = net.Buffer(*net.a, 4096, kAllAccess);
+  auto [dst, dst_mr] = net.Buffer(*net.b, 4096, kAllAccess);
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local = {src, static_cast<std::uint32_t>(
+                       net.fabric.link().max_inline_data + 1),
+              src_mr.lkey};
+  wr.remote_addr = dst;
+  wr.rkey = dst_mr.rkey;
+  wr.send_inline = true;
+  const Status posted = net.qp_a->PostSend(wr);
+  EXPECT_FALSE(posted.ok());
+  EXPECT_EQ(posted.code(), StatusCode::kInvalidArgument);
+  net.events.Run();
+  // The bad post neither completed nor errored the QP.
+  EXPECT_TRUE(net.cq_a->Poll().empty());
+  EXPECT_EQ(net.qp_a->state(), QpState::kRts);
+}
+
+TEST(Inline, SkipsPayloadFetchAndIsFasterForSmallWrites) {
+  auto run_one = [](bool inline_flag) {
+    TwoNodes net;
+    auto [src, src_mr] = net.Buffer(*net.a, 64, kAllAccess);
+    auto [dst, dst_mr] = net.Buffer(*net.b, 64, kAllAccess);
+    SendWr wr;
+    wr.opcode = Opcode::kWrite;
+    wr.local = {src, 64, src_mr.lkey};
+    wr.remote_addr = dst;
+    wr.rkey = dst_mr.rkey;
+    wr.send_inline = inline_flag;
+    EXPECT_TRUE(net.qp_a->PostSend(wr).ok());
+    net.events.Run();
+    return net.events.Now();
+  };
+  // Inline skips the payload DMA fetch and the local MTT lookup.
+  EXPECT_LT(run_one(true), run_one(false));
+}
+
+// ---- small-op fast path: MTT translation cache ----
+
+TEST(Mtt, SecondLookupHitsAndDeregisterShootsDown) {
+  TwoNodes net;
+  auto [src, src_mr] = net.Buffer(*net.a, 64, kAllAccess);
+  auto [dst, dst_mr] = net.Buffer(*net.b, 64, kAllAccess);
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local = {src, 64, src_mr.lkey};
+  wr.remote_addr = dst;
+  wr.rkey = dst_mr.rkey;
+  ASSERT_TRUE(net.qp_a->PostSend(wr).ok());
+  net.events.Run();
+  // First op walks the host MTT on both ends (requester lkey, responder
+  // rkey).
+  EXPECT_EQ(net.fabric.mtt_misses(), 2u);
+  EXPECT_EQ(net.fabric.mtt_hits(), 0u);
+
+  ASSERT_TRUE(net.qp_a->PostSend(wr).ok());
+  net.events.Run();
+  EXPECT_EQ(net.fabric.mtt_misses(), 2u);
+  EXPECT_EQ(net.fabric.mtt_hits(), 2u);
+
+  // Deregistration invalidates the cached rkey translation on the
+  // responder's NIC.
+  ASSERT_TRUE(net.b->memory().Deregister(dst_mr.lkey).ok());
+  EXPECT_GE(net.fabric.mtt_invalidations(), 1u);
+}
+
+TEST(Mtt, ZeroCapacityIsAlwaysCold) {
+  sim::EventQueue events;
+  sim::LinkModel link = sim::RdmaLink();
+  link.mtt_cache_entries = 0;  // baseline configuration: no cache
+  Fabric fabric(events, link);
+  Node& a = fabric.AddNode("a", 1 << 20);
+  Node& b = fabric.AddNode("b", 1 << 20);
+  CompletionQueue& cq = fabric.CreateCq(a.id());
+  CompletionQueue& rcq = fabric.CreateCq(b.id());
+  QueuePair& qp = fabric.CreateQp(a.id(), cq, cq);
+  QueuePair& rqp = fabric.CreateQp(b.id(), rcq, rcq);
+  ASSERT_TRUE(fabric.Connect(qp, rqp).ok());
+  const std::uint64_t src = a.memory().Allocate(64, 8).value();
+  const MemoryRegion src_mr =
+      a.memory().Register(src, 64, kAllAccess).value();
+  const std::uint64_t dst = b.memory().Allocate(64, 8).value();
+  const MemoryRegion dst_mr =
+      b.memory().Register(dst, 64, kAllAccess).value();
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local = {src, 64, src_mr.lkey};
+  wr.remote_addr = dst;
+  wr.rkey = dst_mr.rkey;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(qp.PostSend(wr).ok());
+    events.Run();
+  }
+  EXPECT_EQ(fabric.mtt_hits(), 0u);
+  EXPECT_EQ(fabric.mtt_misses(), 6u);
+}
+
+// ---- small-op fast path: selective signaling ----
+
+TEST(Signaling, PeriodCoalescesChainCompletions) {
+  TwoNodes net;
+  net.qp_a->SetSignalingPeriod(4);
+  auto [src, src_mr] = net.Buffer(*net.a, 64, kAllAccess);
+  auto [dst, dst_mr] = net.Buffer(*net.b, 64, kAllAccess);
+  std::vector<SendWr> chain;
+  for (std::uint64_t i = 1; i <= 8; ++i) {
+    SendWr wr;
+    wr.wr_id = i;
+    wr.opcode = Opcode::kWrite;
+    wr.local = {src, 8, src_mr.lkey};
+    wr.remote_addr = dst;
+    wr.rkey = dst_mr.rkey;
+    chain.push_back(wr);
+  }
+  ASSERT_TRUE(net.qp_a->PostSendChain(chain).ok());
+  net.events.Run();
+  // Every 4th WRITE signals, plus the forced tail: wr 4 and wr 8.
+  auto wcs = net.cq_a->Poll();
+  ASSERT_EQ(wcs.size(), 2u);
+  EXPECT_EQ(wcs[0].wr_id, 4u);
+  EXPECT_EQ(wcs[1].wr_id, 8u);
+  EXPECT_EQ(net.cq_a->coalesced(), 6u);
+  EXPECT_EQ(net.fabric.unsignaled_wrs(), 6u);
+  EXPECT_EQ(net.fabric.coalesced_completions(), 6u);
+  EXPECT_EQ(net.fabric.qp_stats().at(net.qp_a->num()).unsignaled, 6u);
+  // All eight executed against the remote regardless of signaling.
+  EXPECT_EQ(net.fabric.ops_executed(), 8u);
+}
+
+TEST(Signaling, TailAlwaysSignaledSoPollerIsNotStranded) {
+  TwoNodes net;
+  net.qp_a->SetSignalingPeriod(64);  // period longer than the chain
+  auto [src, src_mr] = net.Buffer(*net.a, 64, kAllAccess);
+  auto [dst, dst_mr] = net.Buffer(*net.b, 64, kAllAccess);
+  std::vector<SendWr> chain;
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    SendWr wr;
+    wr.wr_id = i;
+    wr.opcode = Opcode::kWrite;
+    wr.local = {src, 8, src_mr.lkey};
+    wr.remote_addr = dst;
+    wr.rkey = dst_mr.rkey;
+    wr.signaled = false;  // caller tries to unsignal everything
+    chain.push_back(wr);
+  }
+  ASSERT_TRUE(net.qp_a->PostSendChain(chain).ok());
+  net.events.Run();
+  auto wcs = net.cq_a->Poll();
+  ASSERT_EQ(wcs.size(), 1u);
+  EXPECT_EQ(wcs[0].wr_id, 3u);
+  EXPECT_EQ(wcs[0].status, WcStatus::kSuccess);
+}
+
+// Regression for the verbs error semantics at the CQE push (Complete):
+// an unsignaled WR that fails must still produce an error completion, in
+// order, and unsignaled WRs flushed behind it must too.
+TEST(Signaling, UnsignaledFailuresStillCompleteInOrder) {
+  TwoNodes net;
+  auto [src, src_mr] = net.Buffer(*net.a, 64, kAllAccess);
+  auto [dst, dst_mr] = net.Buffer(*net.b, 64, kAllAccess);
+  ASSERT_TRUE(net.a->memory().WriteU64(src, 0xabcd).ok());
+  auto make = [&](std::uint64_t id, MemoryKey rkey) {
+    SendWr wr;
+    wr.wr_id = id;
+    wr.opcode = Opcode::kWrite;
+    wr.local = {src, 8, src_mr.lkey};
+    wr.remote_addr = dst;
+    wr.rkey = rkey;
+    wr.signaled = false;
+    return wr;
+  };
+  ASSERT_TRUE(net.qp_a->PostSend(make(1, dst_mr.rkey)).ok());  // succeeds
+  ASSERT_TRUE(net.qp_a->PostSend(make(2, 0xdead)).ok());       // NAKs
+  ASSERT_TRUE(net.qp_a->PostSend(make(3, dst_mr.rkey)).ok());  // flushed
+  net.events.Run();
+
+  auto wcs = net.cq_a->Poll();
+  ASSERT_EQ(wcs.size(), 2u);
+  EXPECT_EQ(wcs[0].wr_id, 2u);
+  EXPECT_EQ(wcs[0].status, WcStatus::kRemoteAccessError);
+  EXPECT_EQ(wcs[1].wr_id, 3u);
+  EXPECT_EQ(wcs[1].status, WcStatus::kWorkRequestFlushed);
+  // The unsignaled success was coalesced, not lost: it executed and is
+  // accounted.
+  EXPECT_EQ(net.fabric.unsignaled_wrs(), 1u);
+  EXPECT_EQ(net.b->memory().ReadU64(dst).value(), 0xabcdu);
+  EXPECT_EQ(net.qp_a->state(), QpState::kError);
+}
+
 TEST(Cq, OverrunDropsEntries) {
   sim::EventQueue events;
   CompletionQueue cq(2);

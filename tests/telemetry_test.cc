@@ -598,5 +598,29 @@ TEST(Metrics, SandboxControlPlaneAndCollectorExport) {
   EXPECT_TRUE(JsonChecker(reg.SnapshotJson()).Valid());
 }
 
+TEST(Metrics, SmallOpFastPathCountersExported) {
+  TelemetryRig rig;
+  rig.Deploy(0);
+  rig.RunHook(0, 3);
+
+  MetricsRegistry reg;
+  telemetry::CaptureFabricMetrics(reg, rig.fabric);
+  const std::string json = reg.SnapshotJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  // The fast-path counters are always present (zero or not), so
+  // dashboards can rely on the keys existing.
+  for (const char* key :
+       {"rdma.qp.inline_wrs", "rdma.qp.unsignaled", "rdma.cq.coalesced",
+        "rdma.mtt.hits", "rdma.mtt.misses", "rdma.mtt.invalidations"}) {
+    EXPECT_NE(json.find(std::string("\"") + key + "\""), std::string::npos)
+        << "missing counter " << key;
+  }
+  // A deploy + hook executions drive control-plane WRITEs through the
+  // inline fast path and warm the MTT.
+  EXPECT_GT(reg.counter("rdma.qp.inline_wrs"), 0u);
+  EXPECT_GT(reg.counter("rdma.mtt.hits"), 0u);
+  EXPECT_GT(reg.counter("rdma.mtt.misses"), 0u);
+}
+
 }  // namespace
 }  // namespace rdx
